@@ -1,0 +1,24 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+TRIALS ?= 1024
+JOBS ?=
+
+.PHONY: install test bench figures lint-clean examples all
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro --all --trials $(TRIALS) --out results/ $(if $(JOBS),--jobs $(JOBS))
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+all: test bench

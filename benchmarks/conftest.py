@@ -1,0 +1,96 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every evaluation figure of the paper (Figs. 2–6) plus the §7 ablations
+has one benchmark that
+
+* regenerates the figure's data — same sweep, same series — at a
+  reduced trial count (paper: 1024 task graphs per point; default here:
+  ``REPRO_BENCH_TRIALS``, 64), fanned out over worker processes;
+* prints the success-ratio table and ASCII chart the paper reports;
+* persists JSON/CSV/Markdown results under ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TRIALS`` — trials per cell (default 64; use 1024 for a
+  full-scale reproduction run);
+* ``REPRO_BENCH_JOBS``   — worker processes (default: CPU count).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    get_figure_spec,
+    render_report,
+    result_markdown,
+    run_experiment,
+    save_csv,
+    save_json,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_trials() -> int:
+    return int(os.environ.get("REPRO_BENCH_TRIALS", "64"))
+
+
+def bench_jobs() -> int:
+    default = os.cpu_count() or 1
+    return int(os.environ.get("REPRO_BENCH_JOBS", str(default)))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    yield RESULTS_DIR
+    # Fold everything the session produced into one combined report.
+    try:
+        from repro.experiments.reportcard import build_report
+
+        report = build_report(
+            RESULTS_DIR,
+            title=(
+                "Benchmark reproduction run "
+                f"({bench_trials()} trials/cell)"
+            ),
+        )
+        (RESULTS_DIR / "REPORT.md").write_text(report + "\n")
+    except Exception:
+        pass  # reporting must never fail the bench session
+
+
+def run_figure(benchmark, figure: str, results_dir: Path):
+    """Benchmark one figure end to end and persist/print its data."""
+    spec = get_figure_spec(figure)
+    trials = bench_trials()
+    jobs = bench_jobs()
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(spec,),
+        kwargs=dict(trials=trials, seed=2026, jobs=jobs),
+        rounds=1,
+        iterations=1,
+    )
+
+    save_json(result, results_dir / f"{figure}.json")
+    save_csv(result, results_dir / f"{figure}.csv")
+    (results_dir / f"{figure}.md").write_text(
+        f"### {result.title} ({result.paper_reference})\n\n"
+        f"{result_markdown(result)}\n\n"
+        f"trials/cell={trials} seed=2026\n"
+    )
+
+    print()
+    print(render_report(result))
+
+    # Universal sanity: ratios are proportions.
+    for label in result.series:
+        for r in result.ratios(label):
+            assert 0.0 <= r <= 1.0
+    return result

@@ -1,0 +1,28 @@
+"""§7.1 ablations — sensitivity to the adaptivity factors k_G and k_L.
+
+The paper argues there is no universally best factor but that the
+defaults (k_G = 1.5, k_L = 0.2) are robust.  These benches trace the
+success ratio across a factor sweep; k = 0 reduces each adaptive metric
+to PURE, anchoring the curves.
+"""
+
+from .conftest import run_figure
+
+
+def test_ablation_kg(benchmark, results_dir):
+    result = run_figure(benchmark, "abl-kg", results_dir)
+    ratios = result.ratios("ADAPT-G")
+    # The sweep brackets the paper default 1.5; the curve must not be
+    # flat (the factor matters) and stays a proportion everywhere.
+    assert max(ratios) - min(ratios) > 0.02
+
+
+def test_ablation_kl(benchmark, results_dir):
+    result = run_figure(benchmark, "abl-kl", results_dir)
+    ratios = result.ratios("ADAPT-L")
+    x = list(result.x_values)
+    # k_L = 0 is the PURE anchor; the paper's default (0.2) should not
+    # be worse than the anchor at the default operating point.
+    anchor = ratios[x.index(0.0)]
+    at_default = ratios[x.index(0.2)]
+    assert at_default >= anchor - 0.05

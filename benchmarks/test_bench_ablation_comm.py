@@ -1,0 +1,30 @@
+"""§3.1/§5.2 ablation — communication intensity and bus contention.
+
+Compares the paper's contention-free nominal-delay bus against the
+serialized :class:`~repro.system.ContentionBus` across a CCR sweep.
+The nominal model is what the paper's results assume (§3.1); the gap
+between the two curves quantifies how much that assumption matters as
+communication grows.
+"""
+
+from .conftest import run_figure
+
+
+def test_ablation_ccr(benchmark, results_dir):
+    result = run_figure(benchmark, "abl-ccr", results_dir)
+
+    nominal = result.ratios("nominal bus")
+    contended = result.ratios("contention bus")
+
+    # At CCR = 0 the two models coincide exactly (no messages at all).
+    assert result.cell(0, "nominal bus").estimate == result.cell(
+        0, "contention bus"
+    ).estimate
+
+    # Contention can only hurt: the serialized bus never beats the
+    # nominal model (modulo sampling noise at equal cells).
+    for n, c in zip(nominal, contended):
+        assert c <= n + 0.05
+
+    # Success degrades as communication intensifies under contention.
+    assert contended[-1] <= contended[0] + 0.05

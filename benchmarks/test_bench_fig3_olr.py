@@ -1,0 +1,24 @@
+"""Figure 3 — success ratio as a function of OLR (m = 3).
+
+Paper claims reproduced in shape: success rises with looser deadlines
+for every metric; ADAPT-L leads across the sweep, with the largest
+relative gaps at the tight end.
+"""
+
+from .conftest import run_figure
+
+
+def test_fig3_olr(benchmark, results_dir):
+    result = run_figure(benchmark, "fig3", results_dir)
+
+    for label in result.series:
+        ratios = result.ratios(label)
+        # monotone trend tightest -> loosest (allow sampling noise in
+        # the middle; compare the ends)
+        assert ratios[-1] >= ratios[0]
+
+    adapt_l = result.ratios("ADAPT-L")
+    pure = result.ratios("PURE")
+    # ADAPT-L >= PURE at every OLR, strictly better somewhere tight.
+    assert all(l >= p - 0.05 for l, p in zip(adapt_l, pure))
+    assert any(l > p for l, p in zip(adapt_l[:4], pure[:4]))

@@ -1,0 +1,21 @@
+"""Figure 5 — ADAPT-L success vs OLR per WCET estimation strategy.
+
+Paper claims reproduced in shape: the three strategies track each other
+closely (the paper reports ~±5% around WCET-AVG at the default ETD),
+all rising with OLR.
+"""
+
+from .conftest import run_figure
+
+
+def test_fig5_wcet_olr(benchmark, results_dir):
+    result = run_figure(benchmark, "fig5", results_dir)
+
+    for label in result.series:
+        ratios = result.ratios(label)
+        assert ratios[-1] >= ratios[0]
+
+    # The strategies form one tight band at default ETD (paper: ~5%).
+    for xi in range(len(result.x_values)):
+        values = [result.cell(xi, s).ratio for s in result.series]
+        assert max(values) - min(values) <= 0.30

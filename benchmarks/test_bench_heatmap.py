@@ -1,0 +1,52 @@
+"""Response surface — success ratio over (system size × OLR) for ADAPT-L.
+
+The paper's Figs. 2 and 3 are one-dimensional cuts of this surface
+(Fig. 2 along m at OLR = 0.8; Fig. 3 along OLR at m = 3).  The heatmap
+locates the feasibility front both figures slice through.
+"""
+
+from pathlib import Path
+
+from repro.experiments import TrialConfig, heatmap, run_sweep2d
+from repro.workload import WorkloadParams
+
+from .conftest import bench_jobs, bench_trials
+
+
+def test_heatmap_m_olr(benchmark, results_dir: Path):
+    def config(m, olr):
+        return TrialConfig(
+            workload=WorkloadParams(m=int(m), olr=float(olr)),
+            metric="ADAPT-L",
+        )
+
+    trials = max(16, bench_trials() // 2)
+    result = benchmark.pedantic(
+        run_sweep2d,
+        args=(config, (2, 3, 4, 5), (0.5, 0.6, 0.7, 0.8, 0.9)),
+        kwargs=dict(
+            title="ADAPT-L success ratio over m x OLR",
+            x_label="m",
+            y_label="OLR",
+            trials=trials,
+            seed=2026,
+            jobs=bench_jobs(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    art = heatmap(result)
+    print()
+    print(art)
+    (results_dir / "heatmap-m-olr.txt").write_text(art + "\n")
+    import json
+
+    (results_dir / "heatmap-m-olr.json").write_text(
+        json.dumps(result.to_dict(), indent=2)
+    )
+
+    # The surface rises along both axes (corner-to-corner check).
+    assert result.cell(0, 0).ratio <= result.cell(3, 4).ratio
+    grid = result.ratio_grid()
+    assert all(0.0 <= r <= 1.0 for row in grid for r in row)

@@ -1,0 +1,66 @@
+"""Complexity benches (§4.4, §7.2) — slicing runtime vs problem size.
+
+The paper puts the distribution algorithm at O(n^2) plus O(n^3) for the
+ADAPT-L parallel-set preparation.  These benches time the actual
+distribution step (no scheduling, no generation) so pytest-benchmark's
+stats expose the per-metric cost and its growth with n.
+"""
+
+import pytest
+
+from repro.core import distribute_deadlines, estimate_map, get_metric
+from repro.rng import make_rng
+from repro.sched import schedule_edf
+from repro.workload import WorkloadParams, generate_workload
+
+
+def _workload(n_tasks: int, seed: int = 99):
+    params = WorkloadParams(
+        m=3,
+        n_tasks_range=(n_tasks, n_tasks),
+        depth_range=(max(4, n_tasks // 5), max(5, n_tasks // 4)),
+    )
+    return generate_workload(params, make_rng(seed))
+
+
+@pytest.mark.parametrize("metric", ["PURE", "NORM", "ADAPT-G", "ADAPT-L"])
+def test_slicing_runtime_per_metric(benchmark, metric):
+    """Distribution cost at the paper's workload size (~50 tasks)."""
+    wl = _workload(50)
+    estimates = estimate_map(wl.graph, "WCET-AVG", wl.platform)
+
+    def run():
+        return distribute_deadlines(
+            wl.graph, wl.platform, metric, estimates=estimates, validate=False
+        )
+
+    assignment = benchmark(run)
+    assert len(assignment.windows) == wl.graph.n_tasks
+
+
+@pytest.mark.parametrize("n_tasks", [25, 50, 100, 200])
+def test_slicing_scaling_with_n(benchmark, n_tasks):
+    """Growth of ADAPT-L distribution cost with task count."""
+    wl = _workload(n_tasks)
+    estimates = estimate_map(wl.graph, "WCET-AVG", wl.platform)
+    metric = get_metric("ADAPT-L")
+
+    def run():
+        return distribute_deadlines(
+            wl.graph, wl.platform, metric, estimates=estimates, validate=False
+        )
+
+    assignment = benchmark(run)
+    assert len(assignment.windows) == n_tasks
+
+
+def test_end_to_end_trial_cost(benchmark):
+    """Cost of one full trial: slice + schedule at paper size."""
+    wl = _workload(50)
+
+    def run():
+        a = distribute_deadlines(wl.graph, wl.platform, "ADAPT-L")
+        return schedule_edf(wl.graph, wl.platform, a)
+
+    schedule = benchmark(run)
+    assert len(schedule.entries) <= wl.graph.n_tasks

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Domain scenario: a control pipeline on a heterogeneous platform.
+
+The motivating application of the paper's introduction: a sensor task
+with a strict locality constraint (it must run on the DSP class next to
+the sensor), a chain of processing stages with *relaxed* locality
+constraints (eligible on both classes, with class-dependent WCETs), and
+an actuator pinned to the CPU class.
+
+The script compares all four critical-path metrics on the same
+workload, reports which produce feasible schedules and with how much
+margin, and quantifies the release-jitter elimination (implication I2).
+
+Run:  python examples/control_pipeline.py
+"""
+
+import numpy as np
+
+from repro import (
+    METRIC_NAMES,
+    Platform,
+    Processor,
+    ProcessorClass,
+    SharedBus,
+    distribute_deadlines,
+    schedule_edf,
+)
+from repro.analysis import format_table
+from repro.core import estimate_map
+from repro.periodic import precedence_release_bounds, start_jitter
+from repro.workload import control_pipeline_graph
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    graph = control_pipeline_graph(stages=8, e2e_deadline=260.0, rng=rng)
+    platform = Platform(
+        processors=[
+            Processor("dsp1", "dsp"),
+            Processor("cpu1", "cpu"),
+            Processor("cpu2", "cpu"),
+        ],
+        classes=[ProcessorClass("dsp"), ProcessorClass("cpu")],
+        comm=SharedBus(1.0),
+    )
+
+    estimates = estimate_map(graph, "WCET-AVG", platform)
+    rows = []
+    for metric in METRIC_NAMES:
+        assignment = distribute_deadlines(
+            graph, platform, metric, estimates=estimates
+        )
+        schedule = schedule_edf(graph, platform, assignment)
+        rows.append(
+            [
+                metric,
+                "yes" if schedule.feasible else "NO",
+                f"{assignment.min_laxity(estimates):.1f}",
+                f"{schedule.max_lateness():.1f}" if schedule.feasible else "-",
+                f"{schedule.makespan:.1f}",
+            ]
+        )
+    print("Metric comparison on the control pipeline:")
+    print(
+        format_table(
+            ["metric", "feasible", "min laxity", "max lateness", "makespan"],
+            rows,
+        )
+    )
+
+    # Implication I2: slicing eliminates precedence-induced release
+    # jitter.  Compare the jitter a completion-driven design would have
+    # to absorb with the start drift under slicing.
+    assignment = distribute_deadlines(
+        graph, platform, "ADAPT-L", estimates=estimates
+    )
+    schedule = schedule_edf(graph, platform, assignment)
+    potential = precedence_release_bounds(graph)
+    actual = start_jitter(schedule, assignment)
+    print("\nRelease jitter (implication I2):")
+    print(
+        f"  completion-driven release spread (worst task): "
+        f"{potential.maximum:.1f} time units"
+    )
+    print(
+        f"  start drift under slicing (worst task):        "
+        f"{actual.maximum:.1f} time units"
+    )
+    print(
+        "  -> under slicing every release instant is static; drift is\n"
+        "     bounded by the task's own laxity instead of accumulating\n"
+        "     upstream execution-time variation."
+    )
+
+
+if __name__ == "__main__":
+    main()

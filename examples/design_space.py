@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the feasibility surface over (m × OLR).
+
+The paper's Figures 2 and 3 are one-dimensional cuts of the same
+response surface — Fig. 2 along the machine-size axis at OLR = 0.8,
+Fig. 3 along the deadline-tightness axis at m = 3.  This example maps
+the whole surface for two metrics and prints ASCII heatmaps, making the
+feasibility front (and ADAPT-L's shift of it) directly visible.
+
+Run:  python examples/design_space.py [trials]
+"""
+
+import sys
+
+from repro.experiments import TrialConfig, heatmap, run_sweep2d
+from repro.workload import WorkloadParams
+
+M_VALUES = (2, 3, 4, 5)
+OLR_VALUES = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def surface(metric: str, trials: int):
+    def config(m, olr):
+        return TrialConfig(
+            workload=WorkloadParams(m=int(m), olr=float(olr)),
+            metric=metric,
+        )
+
+    return run_sweep2d(
+        config,
+        M_VALUES,
+        OLR_VALUES,
+        title=f"{metric}: success ratio over m x OLR",
+        x_label="m",
+        y_label="OLR",
+        trials=trials,
+        seed=2026,
+    )
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    print(f"{trials} task graphs per point; shared seeds => paired surfaces\n")
+    pure = surface("PURE", trials)
+    adapt = surface("ADAPT-L", trials)
+    print(heatmap(pure))
+    print()
+    print(heatmap(adapt))
+
+    # Where does each metric cross 50% success?
+    def front(result):
+        out = {}
+        for xi, m in enumerate(M_VALUES):
+            crossing = next(
+                (
+                    OLR_VALUES[yi]
+                    for yi in range(len(OLR_VALUES))
+                    if result.cell(xi, yi).ratio >= 0.5
+                ),
+                None,
+            )
+            out[m] = crossing
+        return out
+
+    print("\nOLR needed for >= 50% success (the feasibility front):")
+    fp, fa = front(pure), front(adapt)
+    for m in M_VALUES:
+        print(
+            f"  m={m}: PURE needs OLR >= {fp[m]}   "
+            f"ADAPT-L needs OLR >= {fa[m]}"
+        )
+    print(
+        "\nADAPT-L pushes the front toward tighter deadlines — most "
+        "visibly where the machine is scarce (small m) — the paper's "
+        "robustness claim, seen as a surface."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scheduler showdown: EDF baseline vs. branch-and-bound vs. annealing.
+
+The paper's baseline commits tasks greedily in deadline order (§5.4);
+§7.2 discusses pairing the metrics with a branch-and-bound scheduler
+instead, and [15] used simulated annealing.  This example pits the
+three against each other on a batch of tight random workloads sliced
+with ADAPT-L, and prints how often each succeeds — quantifying how much
+feasibility the greedy baseline leaves on the table.
+
+Run:  python examples/scheduler_showdown.py [n_workloads]
+"""
+
+import sys
+
+from repro.analysis import format_summary, format_table, summarize_workload
+from repro.core import distribute_deadlines
+from repro.rng import make_rng
+from repro.sched import (
+    BnbStatus,
+    schedule_annealed,
+    schedule_branch_and_bound,
+    schedule_edf,
+)
+from repro.workload import WorkloadParams, generate_workload
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    params = WorkloadParams(
+        m=2,
+        n_tasks_range=(14, 18),
+        depth_range=(5, 7),
+        olr=0.72,  # tight: the greedy baseline fails regularly here
+    )
+
+    sample = generate_workload(params, make_rng(0))
+    print("Workload family (one sample):")
+    print(format_summary(summarize_workload(sample.graph, sample.platform)))
+    print()
+
+    wins = {"EDF-LIST": 0, "SA-LIST": 0, "BNB": 0}
+    bnb_proved_infeasible = 0
+    rescued_by_search = []
+    for seed in range(n):
+        wl = generate_workload(params, make_rng(seed))
+        assignment = distribute_deadlines(wl.graph, wl.platform, "ADAPT-L")
+
+        edf = schedule_edf(wl.graph, wl.platform, assignment)
+        wins["EDF-LIST"] += edf.feasible
+
+        sa = schedule_annealed(
+            wl.graph, wl.platform, assignment, iterations=150, seed=seed
+        )
+        wins["SA-LIST"] += sa.feasible
+
+        bnb = schedule_branch_and_bound(
+            wl.graph, wl.platform, assignment, node_budget=40_000
+        )
+        wins["BNB"] += bnb.feasible
+        bnb_proved_infeasible += bnb.status is BnbStatus.INFEASIBLE
+        if bnb.feasible and not edf.feasible:
+            rescued_by_search.append(seed)
+
+    print(f"Success over {n} tight workloads (ADAPT-L windows):")
+    print(
+        format_table(
+            ["scheduler", "feasible", "ratio"],
+            [
+                [name, f"{w}/{n}", f"{w / n:.2f}"]
+                for name, w in wins.items()
+            ],
+        )
+    )
+    print(
+        f"\nbranch-and-bound proved {bnb_proved_infeasible} window sets "
+        "infeasible for ANY non-preemptive order/assignment"
+    )
+    if rescued_by_search:
+        print(
+            f"search rescued {len(rescued_by_search)} workloads the greedy "
+            f"EDF baseline failed (seeds {rescued_by_search[:8]}...)"
+        )
+    print(
+        "\nReading: the gap between EDF and BNB is the price of greedy "
+        "commitment; the gap between BNB and 100% is the price of the "
+        "deadline distribution itself."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""repro — reproduction of Jonsson's adaptive deadline-assignment paper.
+
+A full implementation of the slicing technique for distributing
+end-to-end deadlines over precedence-constrained tasks in heterogeneous
+distributed hard real-time systems, with the four critical-path metrics
+(PURE, NORM, ADAPT-G, ADAPT-L), the WCET estimation strategies, the
+baseline non-preemptive EDF list scheduler, the random workload
+generator and the full experiment harness of:
+
+    Jan Jonsson, "A Robust Adaptive Metric for Deadline Assignment in
+    Heterogeneous Distributed Real-Time Systems", IPPS 1999.
+
+Quick start::
+
+    from repro import (
+        GraphBuilder, identical_platform, distribute_deadlines, schedule_edf,
+    )
+
+    graph = (GraphBuilder()
+             .task("a", 10).task("b", 20).task("c", 15)
+             .edge("a", "b").edge("b", "c")
+             .e2e("a", "c", 90)
+             .build())
+    platform = identical_platform(2)
+    assignment = distribute_deadlines(graph, platform, metric="ADAPT-L")
+    schedule = schedule_edf(graph, platform, assignment)
+    assert schedule.feasible
+"""
+
+from .core import (
+    METRIC_NAMES,
+    WCET_AVG,
+    WCET_MAX,
+    WCET_MIN,
+    AdaptGMetric,
+    AdaptiveParams,
+    AdaptLMetric,
+    DeadlineAssignment,
+    NormMetric,
+    PureMetric,
+    TaskWindow,
+    distribute_deadlines,
+    estimate_map,
+    get_estimator,
+    get_metric,
+)
+from .errors import ReproError
+from .graph import (
+    GraphBuilder,
+    Task,
+    TaskGraph,
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+)
+from .sched import (
+    EdfListScheduler,
+    Schedule,
+    render_gantt,
+    schedule_edf,
+    validate_schedule,
+)
+from .system import (
+    ContentionBus,
+    Platform,
+    Processor,
+    ProcessorClass,
+    SharedBus,
+    identical_platform,
+)
+from .workload import WorkloadParams, generate_workload, paper_defaults
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # graph
+    "Task",
+    "TaskGraph",
+    "GraphBuilder",
+    "chain_graph",
+    "fork_join_graph",
+    "diamond_graph",
+    # system
+    "Platform",
+    "Processor",
+    "ProcessorClass",
+    "SharedBus",
+    "ContentionBus",
+    "identical_platform",
+    # core
+    "distribute_deadlines",
+    "DeadlineAssignment",
+    "TaskWindow",
+    "AdaptiveParams",
+    "PureMetric",
+    "NormMetric",
+    "AdaptGMetric",
+    "AdaptLMetric",
+    "get_metric",
+    "METRIC_NAMES",
+    "WCET_AVG",
+    "WCET_MAX",
+    "WCET_MIN",
+    "get_estimator",
+    "estimate_map",
+    # sched
+    "EdfListScheduler",
+    "schedule_edf",
+    "Schedule",
+    "validate_schedule",
+    "render_gantt",
+    # workload
+    "WorkloadParams",
+    "generate_workload",
+    "paper_defaults",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` delegates to the figures CLI."""
+
+from .cli.main import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

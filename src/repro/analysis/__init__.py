@@ -1,0 +1,30 @@
+"""Result statistics and report formatting."""
+
+from .bounds import (
+    InfeasibilityWitness,
+    find_infeasibility,
+    is_certainly_infeasible,
+)
+from .compare import PairedComparison, paired_comparison, sign_test_p_value
+from .series import ascii_chart
+from .stats import BinomialEstimate, mean_std, wilson_interval
+from .summary import WorkloadSummary, format_summary, summarize_workload
+from .tables import format_markdown_table, format_table
+
+__all__ = [
+    "BinomialEstimate",
+    "wilson_interval",
+    "mean_std",
+    "format_table",
+    "format_markdown_table",
+    "ascii_chart",
+    "WorkloadSummary",
+    "summarize_workload",
+    "format_summary",
+    "InfeasibilityWitness",
+    "find_infeasibility",
+    "is_certainly_infeasible",
+    "PairedComparison",
+    "paired_comparison",
+    "sign_test_p_value",
+]

@@ -1,0 +1,133 @@
+"""Analytical necessary conditions for window feasibility.
+
+Quick infeasibility screens for a deadline assignment, all *necessary*
+conditions: when any of them fails, **no** non-preemptive (indeed, no
+preemptive) schedule can meet every window on the platform, so the
+branch-and-bound search must also prove infeasibility — a cross-check
+the test suite exercises.  When all pass, feasibility is still not
+guaranteed (the conditions ignore non-preemption and task shapes).
+
+Checks, in increasing cost:
+
+1. **window fit** — every task's window must cover its fastest
+   execution: `d_i ≥ min_k c_i[e_k]` over eligible classes present on
+   the platform;
+2. **precedence fit** — along every arc, the successor's deadline must
+   leave room after the predecessor's earliest possible finish (with
+   zero communication, the optimistic case);
+3. **interval demand** — for every critical interval `[s, t]` (formed
+   by arrival/deadline pairs), the work that *must* execute inside it
+   (tasks with `[a_i, D_i] ⊆ [s, t]`, counted at their fastest rate)
+   cannot exceed the platform capacity `m · (t − s)`.  This is the
+   classical demand-bound/load argument adapted to windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.assignment import DeadlineAssignment
+from ..errors import SchedulingError
+from ..graph.taskgraph import TaskGraph
+from ..system.platform import Platform
+from ..types import Time
+
+__all__ = ["InfeasibilityWitness", "find_infeasibility", "is_certainly_infeasible"]
+
+
+@dataclass(frozen=True)
+class InfeasibilityWitness:
+    """A proof that no schedule can meet the windows."""
+
+    kind: str  # "window-fit" | "precedence-fit" | "interval-demand"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}: {self.detail}"
+
+
+def find_infeasibility(
+    graph: TaskGraph,
+    platform: Platform,
+    assignment: DeadlineAssignment,
+) -> InfeasibilityWitness | None:
+    """Return a witness of certain infeasibility, or ``None``.
+
+    ``None`` means "not provably infeasible by these tests", not
+    "feasible".
+    """
+    used = set(platform.used_class_ids())
+    fastest: dict[str, Time] = {}
+    for task in graph.tasks():
+        times = [c for cls, c in task.wcet.items() if cls in used]
+        if not times:
+            return InfeasibilityWitness(
+                "window-fit",
+                f"task {task.id!r} has no eligible processor class",
+            )
+        fastest[task.id] = min(times)
+
+    # 1. Window fit.
+    for tid in graph.task_ids():
+        if tid not in assignment:
+            raise SchedulingError(f"task {tid!r} has no assigned window")
+        w = assignment.window(tid)
+        if fastest[tid] > w.relative_deadline + 1e-9:
+            return InfeasibilityWitness(
+                "window-fit",
+                f"task {tid!r} needs {fastest[tid]:g} but its window is "
+                f"{w.relative_deadline:g} long",
+            )
+
+    # 2. Precedence fit (optimistic earliest finishes, zero comm).
+    earliest_finish: dict[str, Time] = {}
+    for tid in graph.topological_order():
+        w = assignment.window(tid)
+        start = w.arrival
+        for pred in graph.predecessors(tid):
+            if earliest_finish[pred] > start:
+                start = earliest_finish[pred]
+        finish = start + fastest[tid]
+        earliest_finish[tid] = finish
+        if finish > w.absolute_deadline + 1e-9:
+            return InfeasibilityWitness(
+                "precedence-fit",
+                f"task {tid!r} cannot finish before {finish:g} even with "
+                f"fastest predecessors, but its deadline is "
+                f"{w.absolute_deadline:g}",
+            )
+
+    # 3. Interval demand.
+    arrivals = sorted({assignment.arrival(t) for t in graph.task_ids()})
+    deadlines = sorted(
+        {assignment.absolute_deadline(t) for t in graph.task_ids()}
+    )
+    m = platform.m
+    tasks = [
+        (assignment.arrival(t), assignment.absolute_deadline(t), fastest[t], t)
+        for t in graph.task_ids()
+    ]
+    for s in arrivals:
+        for t in deadlines:
+            if t <= s:
+                continue
+            demand = 0.0
+            for a, d, c, _tid in tasks:
+                if a >= s - 1e-9 and d <= t + 1e-9:
+                    demand += c
+            if demand > m * (t - s) + 1e-6:
+                return InfeasibilityWitness(
+                    "interval-demand",
+                    f"interval [{s:g}, {t:g}] must absorb {demand:g} work "
+                    f"but offers only {m * (t - s):g} processor time",
+                )
+    return None
+
+
+def is_certainly_infeasible(
+    graph: TaskGraph,
+    platform: Platform,
+    assignment: DeadlineAssignment,
+) -> bool:
+    """Whether the windows are provably unschedulable on the platform."""
+    return find_infeasibility(graph, platform, assignment) is not None

@@ -1,0 +1,145 @@
+"""Paired statistical comparison of two trial configurations.
+
+The harness evaluates all series on the *same* workloads, so "is metric
+A better than metric B?" is a paired question: only the *discordant*
+workloads (A succeeds where B fails, or vice versa) carry information.
+The exact sign test (the binomial special case of McNemar's test) gives
+a p-value from those discordant counts alone — far more sensitive than
+comparing two independent Wilson intervals, and exact at any sample
+size.
+
+Usage::
+
+    from repro.analysis import paired_comparison
+    from repro.experiments import TrialConfig
+    from repro.experiments.runner import _cell_seeds
+
+    seeds = _cell_seeds(2026, 0, 256)
+    out = paired_comparison(config_adapt_l, config_pure, seeds)
+    print(out.summary())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..experiments.spec import TrialConfig
+
+__all__ = ["PairedComparison", "paired_comparison", "sign_test_p_value"]
+
+
+def sign_test_p_value(wins_a: int, wins_b: int) -> float:
+    """Two-sided exact sign test on discordant pairs.
+
+    Under the null (no difference), each discordant pair is a fair coin
+    flip; the p-value is the probability of a split at least this
+    extreme.  With no discordant pairs the test is uninformative (1.0).
+    """
+    if wins_a < 0 or wins_b < 0:
+        raise ValueError("discordant counts must be non-negative")
+    n = wins_a + wins_b
+    if n == 0:
+        return 1.0
+    k = min(wins_a, wins_b)
+    tail = sum(math.comb(n, i) for i in range(0, k + 1))
+    p = 2.0 * tail / (2.0**n)
+    return min(1.0, p)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired A-vs-B success comparison."""
+
+    label_a: str
+    label_b: str
+    trials: int
+    both_succeed: int
+    both_fail: int
+    only_a: int  # A succeeds where B fails
+    only_b: int  # B succeeds where A fails
+
+    @property
+    def ratio_a(self) -> float:
+        return (self.both_succeed + self.only_a) / self.trials
+
+    @property
+    def ratio_b(self) -> float:
+        return (self.both_succeed + self.only_b) / self.trials
+
+    @property
+    def discordant(self) -> int:
+        return self.only_a + self.only_b
+
+    @property
+    def p_value(self) -> float:
+        """Exact two-sided sign test on the discordant pairs."""
+        return sign_test_p_value(self.only_a, self.only_b)
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the difference is significant at level *alpha*."""
+        return self.p_value < alpha
+
+    def summary(self) -> str:
+        direction = (
+            f"{self.label_a} > {self.label_b}"
+            if self.only_a >= self.only_b
+            else f"{self.label_b} > {self.label_a}"
+        )
+        return (
+            f"{self.label_a}: {self.ratio_a:.3f}  "
+            f"{self.label_b}: {self.ratio_b:.3f}  "
+            f"(discordant {self.only_a}:{self.only_b}, "
+            f"sign test p={self.p_value:.2g}, {direction})"
+        )
+
+
+def paired_comparison(
+    config_a: "TrialConfig",
+    config_b: "TrialConfig",
+    seeds: Sequence[int],
+    *,
+    label_a: str | None = None,
+    label_b: str | None = None,
+) -> PairedComparison:
+    """Run both configurations on the same seeds and compare success.
+
+    The two configurations must not change workload *generation*
+    differently (same `workload` parameters) for the pairing to be
+    meaningful; the harness's own series obey this by construction, and
+    this function checks it.
+    """
+    from ..errors import ExperimentError
+    from ..experiments.runner import run_trial
+
+    if config_a.workload != config_b.workload:
+        raise ExperimentError(
+            "paired comparison requires identical workload parameters "
+            "(the pairing is over generated workloads)"
+        )
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+
+    both = neither = only_a = only_b = 0
+    for seed in seeds:
+        a = run_trial(config_a, seed).success
+        b = run_trial(config_b, seed).success
+        if a and b:
+            both += 1
+        elif a:
+            only_a += 1
+        elif b:
+            only_b += 1
+        else:
+            neither += 1
+    return PairedComparison(
+        label_a=label_a or config_a.metric,
+        label_b=label_b or config_b.metric,
+        trials=len(seeds),
+        both_succeed=both,
+        both_fail=neither,
+        only_a=only_a,
+        only_b=only_b,
+    )

@@ -1,0 +1,61 @@
+"""ASCII rendering of success-ratio curves (Figs. 2–6 in the terminal)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 16,
+    y_label: str = "success ratio",
+    y_max: float = 1.0,
+) -> str:
+    """Plot one or more series over a shared categorical x axis.
+
+    Values are clipped to ``[0, y_max]``.  Each series gets a marker
+    from a fixed cycle; collisions at the same cell show the later
+    series' marker.  This is a reporting aid, not used by any algorithm.
+    """
+    if height < 2:
+        raise ValueError("chart height must be at least 2")
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points for "
+                f"{len(x_values)} x values"
+            )
+    n = len(x_values)
+    if n == 0:
+        return "(no data)"
+    col_w = max(3, max(len(str(x)) for x in x_values) + 1)
+    grid = [[" "] * (n * col_w) for _ in range(height)]
+    for si, name in enumerate(names):
+        mark = _MARKS[si % len(_MARKS)]
+        for xi, v in enumerate(series[name]):
+            vv = min(max(v, 0.0), y_max)
+            row = height - 1 - int(round(vv / y_max * (height - 1)))
+            col = xi * col_w + col_w // 2
+            grid[row][col] = mark
+    lines = []
+    for ri, row in enumerate(grid):
+        frac = (height - 1 - ri) / (height - 1) * y_max
+        prefix = f"{frac:4.2f} |"
+        lines.append(prefix + "".join(row).rstrip())
+    lines.append("     +" + "-" * (n * col_w))
+    axis = "      "
+    for x in x_values:
+        axis += str(x).center(col_w)
+    lines.append(axis.rstrip())
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(f"      [{y_label}]  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Statistics for success-ratio experiments.
+
+The paper's primary measure is the *success ratio* — the fraction of
+randomly generated task sets that could be feasibly scheduled (§4.2).
+That is a binomial proportion, so results carry Wilson score intervals:
+unlike the normal approximation, Wilson behaves sensibly at ratios near
+0 and 1, exactly where the interesting curves live (Figs. 2–4 span the
+whole [0, 1] range).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["BinomialEstimate", "wilson_interval", "mean_std"]
+
+
+def wilson_interval(
+    successes: int, trials: int, *, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns the default 95% interval (``z = 1.96``) as ``(low, high)``.
+    An empty sample yields the uninformative interval ``(0, 1)``.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(
+            f"invalid binomial sample: {successes} successes in {trials} trials"
+        )
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = p + z2 / (2.0 * trials)
+    margin = z * math.sqrt(
+        (p * (1.0 - p) + z2 / (4.0 * trials)) / trials
+    )
+    low = (centre - margin) / denom
+    high = (centre + margin) / denom
+    return (max(0.0, low), min(1.0, high))
+
+
+@dataclass(frozen=True)
+class BinomialEstimate:
+    """A success-ratio estimate with its 95% Wilson interval."""
+
+    successes: int
+    trials: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.successes <= self.trials):
+            raise ValueError(
+                f"invalid binomial sample: {self.successes}/{self.trials}"
+            )
+
+    @property
+    def ratio(self) -> float:
+        """Point estimate (0 for an empty sample)."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return wilson_interval(self.successes, self.trials)
+
+    def merged(self, other: "BinomialEstimate") -> "BinomialEstimate":
+        """Pool two independent samples of the same proportion."""
+        return BinomialEstimate(
+            self.successes + other.successes, self.trials + other.trials
+        )
+
+    def __str__(self) -> str:
+        lo, hi = self.interval
+        return (
+            f"{self.ratio:.3f} [{lo:.3f}, {hi:.3f}] "
+            f"({self.successes}/{self.trials})"
+        )
+
+
+def mean_std(values: list[float]) -> tuple[float, float]:
+    """Sample mean and (n−1) standard deviation; (nan, nan) when empty."""
+    n = len(values)
+    if n == 0:
+        return (float("nan"), float("nan"))
+    mean = sum(values) / n
+    if n == 1:
+        return (mean, 0.0)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return (mean, math.sqrt(var))

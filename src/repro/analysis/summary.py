@@ -1,0 +1,126 @@
+"""Structural summaries of workloads (diagnostics for experiments/docs).
+
+:func:`summarize_workload` condenses a (graph, platform) pair into the
+quantities that drive the paper's dynamics: size, depth, the level
+width profile (whose burstiness is what separates the adaptive metrics
+— see DESIGN.md §3a), the average parallelism ξ, workload totals and
+communication intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.estimation import WCET_AVG, estimate_map
+from ..graph.algorithms import (
+    average_parallelism,
+    graph_depth,
+    level_assignment,
+    longest_path_length,
+)
+from ..graph.taskgraph import TaskGraph
+from ..system.platform import Platform
+from .tables import format_table
+
+__all__ = ["WorkloadSummary", "summarize_workload", "format_summary"]
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Derived structural facts about one workload."""
+
+    n_tasks: int
+    n_edges: int
+    depth: int
+    level_widths: tuple[int, ...]
+    total_workload: float
+    longest_path: float
+    parallelism: float
+    mean_wcet: float
+    mean_message_size: float
+    n_inputs: int
+    n_outputs: int
+    m: int | None = None
+    m_e: int | None = None
+    ineligible_pairs: int = 0
+    e2e_deadlines: tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def max_width(self) -> int:
+        return max(self.level_widths, default=0)
+
+    @property
+    def olr_estimate(self) -> float:
+        """Observed deadline / total-workload ratio (cf. §5.2's OLR)."""
+        if not self.e2e_deadlines or self.total_workload <= 0.0:
+            return float("nan")
+        return min(self.e2e_deadlines) / self.total_workload
+
+
+def summarize_workload(
+    graph: TaskGraph, platform: Platform | None = None
+) -> WorkloadSummary:
+    """Compute a :class:`WorkloadSummary` for *graph* (and *platform*)."""
+    estimates = estimate_map(graph, WCET_AVG, platform)
+    cost = lambda tid: estimates[tid]
+
+    levels = level_assignment(graph)
+    depth = graph_depth(graph)
+    widths = [0] * depth
+    for level in levels.values():
+        widths[level] += 1
+
+    sizes = [size for _, _, size in graph.edges()]
+    ineligible = 0
+    if platform is not None:
+        used = set(platform.used_class_ids())
+        for task in graph.tasks():
+            ineligible += len(used - task.eligible_classes())
+
+    return WorkloadSummary(
+        n_tasks=graph.n_tasks,
+        n_edges=graph.n_edges,
+        depth=depth,
+        level_widths=tuple(widths),
+        total_workload=sum(estimates.values()),
+        longest_path=longest_path_length(graph, cost),
+        parallelism=average_parallelism(graph, cost),
+        mean_wcet=sum(estimates.values()) / max(1, graph.n_tasks),
+        mean_message_size=(sum(sizes) / len(sizes)) if sizes else 0.0,
+        n_inputs=len(graph.input_tasks()),
+        n_outputs=len(graph.output_tasks()),
+        m=platform.m if platform is not None else None,
+        m_e=platform.m_e if platform is not None else None,
+        ineligible_pairs=ineligible,
+        e2e_deadlines=tuple(sorted(graph.e2e_deadlines().values())),
+    )
+
+
+def format_summary(summary: WorkloadSummary) -> str:
+    """Human-readable rendering of a :class:`WorkloadSummary`."""
+    rows = [
+        ["tasks", summary.n_tasks],
+        ["edges", summary.n_edges],
+        ["inputs / outputs", f"{summary.n_inputs} / {summary.n_outputs}"],
+        ["depth (levels)", summary.depth],
+        ["level widths", " ".join(str(w) for w in summary.level_widths)],
+        ["max width", summary.max_width],
+        ["total workload (c̄)", f"{summary.total_workload:.1f}"],
+        ["longest path (c̄)", f"{summary.longest_path:.1f}"],
+        ["avg parallelism ξ", f"{summary.parallelism:.2f}"],
+        ["mean c̄", f"{summary.mean_wcet:.2f}"],
+        ["mean message size", f"{summary.mean_message_size:.2f}"],
+    ]
+    if summary.m is not None:
+        rows.append(["processors (m)", summary.m])
+        rows.append(["classes (m_e)", summary.m_e])
+        rows.append(["ineligible (task,class)", summary.ineligible_pairs])
+    if summary.e2e_deadlines:
+        rows.append(
+            ["E-T-E deadline(s)",
+             f"{summary.e2e_deadlines[0]:.1f}"
+             + (f" .. {summary.e2e_deadlines[-1]:.1f}"
+                if len(set(summary.e2e_deadlines)) > 1 else "")]
+        )
+        rows.append(["observed OLR", f"{summary.olr_estimate:.2f}"])
+    return format_table(["property", "value"], rows)

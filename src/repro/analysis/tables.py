@@ -1,0 +1,58 @@
+"""Plain-text and Markdown table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(rows: Sequence[Sequence[object]]) -> list[list[str]]:
+    return [[_cell(c) for c in row] for row in rows]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width text table with a header rule."""
+    srows = _stringify(rows)
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in srows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """GitHub-flavoured Markdown table."""
+    srows = _stringify(rows)
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in srows:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)

@@ -1,0 +1,19 @@
+"""Strict-locality task assignment (the conventional regime, cf. [1])."""
+
+from .clustering import TaskAssignment, cluster_assignment, exact_estimates
+from .known import (
+    MSG_CLASS,
+    augment_with_messages,
+    distribute_known_assignment,
+)
+from .scheduler import FixedAssignmentEdfScheduler
+
+__all__ = [
+    "TaskAssignment",
+    "cluster_assignment",
+    "exact_estimates",
+    "FixedAssignmentEdfScheduler",
+    "augment_with_messages",
+    "distribute_known_assignment",
+    "MSG_CLASS",
+]

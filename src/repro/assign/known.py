@@ -1,0 +1,127 @@
+"""Known-assignment (comm-aware) deadline distribution — the [5] setting.
+
+Di Natale & Stankovic's original slicing assumed the task assignment was
+fully known, so the critical-path evaluation could charge *exact*
+interprocessor communication costs.  Jonsson's §4.3 finding is that,
+under relaxed locality, it is better to "assume that there will be no
+communication cost" — and that this holds "even in the presence of
+significant communication cost", because zero-cost assumptions maximize
+the laxity available for distribution.
+
+This module implements the comm-aware side of that comparison, given a
+strict :class:`~repro.assign.clustering.TaskAssignment`:
+
+1. **augmentation** — every cross-processor arc with a positive message
+   size becomes a *message pseudo-task* whose execution time is the
+   exact bus cost; the arc ``i → j`` becomes ``i → msg → j``;
+2. the ordinary slicing algorithm runs on the augmented graph (message
+   tasks participate in critical paths and receive laxity, which acts
+   as communication-jitter margin);
+3. the message windows are stripped: real tasks keep their windows, and
+   each message's window is exactly the gap slicing reserved for it.
+
+Comparing :func:`distribute_known_assignment` (comm-aware) against the
+standard :func:`~repro.core.slicing.distribute_deadlines` with exact
+execution times (comm-blind) on the same strict assignment reproduces
+the §4.3 experiment — see ``benchmarks/test_bench_comm_aware.py``.
+"""
+
+from __future__ import annotations
+
+from ..core.assignment import DeadlineAssignment
+from ..core.metrics import AdaptiveParams, get_metric
+from ..core.slicing import slice_with_state
+from ..errors import DistributionError
+from ..graph.task import Task
+from ..graph.taskgraph import TaskGraph
+from ..system.platform import Platform
+from ..types import Time
+from .clustering import TaskAssignment, exact_estimates
+
+__all__ = ["augment_with_messages", "distribute_known_assignment", "MSG_CLASS"]
+
+#: Pseudo processor class carried by message tasks.  Message tasks are
+#: never scheduled on a processor — their windows become bus gaps — so
+#: the class exists only to satisfy the task model.
+MSG_CLASS = "__msg__"
+
+
+def _msg_id(src: str, dst: str) -> str:
+    return f"__msg__{src}->{dst}"
+
+
+def augment_with_messages(
+    graph: TaskGraph,
+    platform: Platform,
+    assignment: TaskAssignment,
+) -> tuple[TaskGraph, dict[str, Time]]:
+    """Insert message pseudo-tasks on every costed cross-processor arc.
+
+    Returns the augmented graph and the message execution-time map
+    (message id → exact worst-case bus cost).  Zero-cost arcs (same
+    processor, or empty messages) are kept as plain precedence.
+    """
+    out = TaskGraph()
+    for task in graph.tasks():
+        out.add_task(task)
+    messages: dict[str, Time] = {}
+    for src, dst, size in graph.edges():
+        p_src = assignment.processor_of(src)
+        p_dst = assignment.processor_of(dst)
+        cost = platform.communication_cost(p_src, p_dst, size)
+        if cost <= 0.0:
+            out.add_edge(src, dst, size)
+            continue
+        mid = _msg_id(src, dst)
+        out.add_task(Task(id=mid, wcet={MSG_CLASS: cost}, label="message"))
+        out.add_edge(src, mid, size)
+        out.add_edge(mid, dst, 0.0)
+        messages[mid] = cost
+    for (a1, a2), d in graph.e2e_deadlines().items():
+        out.set_e2e_deadline(a1, a2, d)
+    return out, messages
+
+
+def distribute_known_assignment(
+    graph: TaskGraph,
+    platform: Platform,
+    assignment: TaskAssignment,
+    metric: str = "NORM",
+    *,
+    params: AdaptiveParams | None = None,
+) -> DeadlineAssignment:
+    """Comm-aware deadline distribution under a strict assignment.
+
+    Uses exact per-task execution times (the information a known
+    assignment provides) *and* exact communication costs on the
+    critical paths, i.e. the original [5] setting.  The returned
+    assignment covers the real tasks only; the message gaps are folded
+    into the window chain (a successor's arrival already includes its
+    incoming message's reserved window).
+    """
+    augmented, messages = augment_with_messages(graph, platform, assignment)
+    estimates = exact_estimates(graph, platform, assignment)
+    estimates.update(messages)
+
+    metric_obj = get_metric(metric, params)
+    state = metric_obj.prepare(augmented, estimates, platform)
+    full = slice_with_state(augmented, metric_obj, state)
+
+    windows = {
+        tid: w for tid, w in full.windows.items() if tid not in messages
+    }
+    missing = set(graph.task_ids()) - set(windows)
+    if missing:
+        raise DistributionError(
+            f"distribution left tasks unassigned: {sorted(missing)[:5]}"
+        )
+    return DeadlineAssignment(
+        windows=windows,
+        metric_name=f"{metric_obj.name}/comm-aware",
+        estimator_name="EXACT",
+        paths=[
+            tuple(t for t in path if t not in messages)
+            for path in full.paths
+        ],
+        degenerate=full.degenerate,
+    )

@@ -1,0 +1,7 @@
+"""Command-line interfaces (``repro-figures``, ``repro-workload``)."""
+
+from .main import build_parser, main
+from .workload_tool import build_parser as build_workload_parser
+from .workload_tool import main as workload_main
+
+__all__ = ["main", "build_parser", "workload_main", "build_workload_parser"]

@@ -1,0 +1,158 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    repro-figures --list
+    repro-figures fig2 --trials 256 --jobs 8
+    repro-figures --all --trials 1024 --out results/
+
+Each run prints the success-ratio table and an ASCII chart, and — when
+``--out`` is given — writes ``<figure>.json``, ``<figure>.csv`` and
+``<figure>.md`` into the output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import ReproError
+from ..experiments.figures import FIGURES, get_figure_spec
+from ..experiments.report import (
+    render_report,
+    result_markdown,
+    save_csv,
+    save_json,
+)
+from ..experiments.runner import run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description=(
+            "Reproduce the evaluation figures of 'A Robust Adaptive "
+            "Metric for Deadline Assignment in Heterogeneous Distributed "
+            "Real-Time Systems' (Jonsson, IPPS 1999)."
+        ),
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help=f"experiment ids to run (available: {', '.join(sorted(FIGURES))})",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="run a declarative experiment from a JSON document "
+        "(repeatable; see repro.experiments.config)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=1024,
+        help="trials per cell (paper: 1024 task graphs; default 1024)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2026, help="experiment root seed"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count; 1 = serial)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for JSON/CSV/Markdown result files",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="after running, fold every result in --out into REPORT.md",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        for name in sorted(FIGURES):
+            spec = get_figure_spec(name)
+            print(f"{name:10s} {spec.title} ({spec.paper_reference})")
+        return 0
+
+    names: list[object] = list(
+        sorted(FIGURES) if args.all else args.figures
+    )
+    names.extend(args.config)
+    if not names:
+        print(
+            "nothing to do: name experiments, use --config, or --all / --list",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    status = 0
+    for name in names:
+        try:
+            if isinstance(name, Path):
+                from ..experiments.config import load_spec
+
+                spec = load_spec(name)
+                name = spec.name
+            else:
+                spec = get_figure_spec(name)
+            result = run_experiment(
+                spec, trials=args.trials, seed=args.seed, jobs=args.jobs
+            )
+        except ReproError as exc:
+            print(f"error running {name!r}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(render_report(result))
+        print()
+        if args.out is not None:
+            save_json(result, args.out / f"{name}.json")
+            save_csv(result, args.out / f"{name}.csv")
+            (args.out / f"{name}.md").write_text(
+                f"### {result.title}\n\n{result_markdown(result)}\n"
+            )
+
+    if args.report:
+        if args.out is None:
+            print("--report requires --out", file=sys.stderr)
+            return 2
+        from ..experiments.reportcard import build_report
+
+        try:
+            report = build_report(args.out)
+        except ReproError as exc:
+            print(f"error building report: {exc}", file=sys.stderr)
+            return 1
+        (args.out / "REPORT.md").write_text(report + "\n")
+        print(f"wrote combined report to {args.out / 'REPORT.md'}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

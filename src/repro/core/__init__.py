@@ -1,0 +1,69 @@
+"""The paper's primary contribution: adaptive deadline distribution.
+
+* :func:`distribute_deadlines` — Algorithm SLICING (Fig. 1) end to end.
+* Metrics: :class:`PureMetric`, :class:`NormMetric`,
+  :class:`AdaptGMetric`, :class:`AdaptLMetric` (§4.5).
+* WCET estimation: WCET-AVG / WCET-MAX / WCET-MIN (§5.3).
+* :class:`DeadlineAssignment` — the produced windows and invariants.
+"""
+
+from .assignment import DeadlineAssignment, TaskWindow
+from .estimation import (
+    WCET_AUTO,
+    WCET_AVG,
+    WCET_MAX,
+    WCET_MIN,
+    WcetAuto,
+    WcetAvg,
+    WcetEstimator,
+    WcetMax,
+    WcetMin,
+    estimate_map,
+    get_estimator,
+)
+from .metrics import (
+    METRIC_NAMES,
+    AdaptGMetric,
+    AdaptLMetric,
+    AdaptiveParams,
+    CriticalPathMetric,
+    MetricState,
+    NormMetric,
+    PureMetric,
+    get_metric,
+    virtual_times_global,
+    virtual_times_local,
+)
+from .paths import PathCandidate, find_critical_path
+from .slicing import distribute_deadlines, slice_with_state
+
+__all__ = [
+    "distribute_deadlines",
+    "slice_with_state",
+    "DeadlineAssignment",
+    "TaskWindow",
+    "PathCandidate",
+    "find_critical_path",
+    "CriticalPathMetric",
+    "MetricState",
+    "AdaptiveParams",
+    "PureMetric",
+    "NormMetric",
+    "AdaptGMetric",
+    "AdaptLMetric",
+    "get_metric",
+    "METRIC_NAMES",
+    "virtual_times_global",
+    "virtual_times_local",
+    "WcetEstimator",
+    "WcetAvg",
+    "WcetMax",
+    "WcetMin",
+    "WcetAuto",
+    "WCET_AVG",
+    "WCET_MAX",
+    "WCET_MIN",
+    "WCET_AUTO",
+    "get_estimator",
+    "estimate_map",
+]

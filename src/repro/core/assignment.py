@@ -1,0 +1,245 @@
+"""Deadline-assignment results and their invariants (§4.1–4.2).
+
+A :class:`DeadlineAssignment` maps every task to its execution window
+``w_i = [a_i, D_i]`` with ``D_i = a_i + d_i``.  The slicing technique's
+defining property is that windows of precedence-related tasks do not
+overlap: for every arc ``(i, j)``, ``D_i <= a_j``.  That single local
+invariant implies the global path constraint (eq. 1): along any path
+between an input–output pair, ``Σ d_i <= D_α``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from ..errors import DistributionError
+from ..graph.taskgraph import TaskGraph
+from ..types import Time, time_leq
+
+__all__ = ["TaskWindow", "DeadlineAssignment"]
+
+
+@dataclass(frozen=True)
+class TaskWindow:
+    """Execution window of one task: arrival, relative and absolute deadline."""
+
+    arrival: Time
+    relative_deadline: Time
+    absolute_deadline: Time
+
+    @property
+    def length(self) -> Time:
+        """Window length ``|w_i|`` (equals the relative deadline)."""
+        return self.absolute_deadline - self.arrival
+
+
+@dataclass
+class DeadlineAssignment:
+    """Result of distributing E-T-E deadlines over a task graph.
+
+    Attributes
+    ----------
+    windows:
+        Per-task execution windows.
+    metric_name / estimator_name:
+        Provenance of the distribution.
+    paths:
+        The critical paths in the order the slicing loop selected them
+        (useful for tracing/debugging a distribution).
+    degenerate:
+        ``True`` when some window had to be clamped to zero length
+        because a path's window could not cover the estimated execution
+        times (negative laxity); such an assignment is almost surely
+        unschedulable but remains well-formed.
+    """
+
+    windows: dict[str, TaskWindow]
+    metric_name: str = "?"
+    estimator_name: str = "?"
+    paths: list[tuple[str, ...]] = field(default_factory=list)
+    degenerate: bool = False
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self.windows
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.windows)
+
+    def window(self, task_id: str) -> TaskWindow:
+        try:
+            return self.windows[task_id]
+        except KeyError:
+            raise DistributionError(
+                f"task {task_id!r} has no assigned window"
+            ) from None
+
+    def arrival(self, task_id: str) -> Time:
+        """Assigned arrival time ``a_i``."""
+        return self.window(task_id).arrival
+
+    def relative_deadline(self, task_id: str) -> Time:
+        """Assigned relative deadline ``d_i``."""
+        return self.window(task_id).relative_deadline
+
+    def absolute_deadline(self, task_id: str) -> Time:
+        """Assigned absolute deadline ``D_i = a_i + d_i``."""
+        return self.window(task_id).absolute_deadline
+
+    def laxity(self, task_id: str, estimates: Mapping[str, Time]) -> Time:
+        """Pre-scheduling laxity ``X_i = d_i − c̄_i`` (§4.2)."""
+        return self.relative_deadline(task_id) - estimates[task_id]
+
+    def min_laxity(self, estimates: Mapping[str, Time]) -> Time:
+        """Minimum laxity over all tasks (§4.2 secondary measure)."""
+        if not self.windows:
+            raise DistributionError("empty assignment has no laxity")
+        return min(self.laxity(tid, estimates) for tid in self.windows)
+
+    # ------------------------------------------------------------------
+    # Invariant checking
+    # ------------------------------------------------------------------
+    def violations(self, graph: TaskGraph) -> list[str]:
+        """All slicing-invariant violations (empty list == valid).
+
+        Checks, with floating-point tolerance:
+
+        * every graph task has a window and every window is well-formed
+          (``d_i >= 0``);
+        * non-overlap on every arc: ``D_i <= a_j``;
+        * input tasks are not scheduled before their phasing;
+        * output tasks respect the E-T-E deadlines covering them.
+        Together these imply the path constraint (eq. 1) on every path.
+        """
+        problems: list[str] = []
+        for tid in graph.task_ids():
+            if tid not in self.windows:
+                problems.append(f"task {tid!r} has no assigned window")
+        for tid, w in self.windows.items():
+            if w.relative_deadline < 0.0:
+                problems.append(
+                    f"task {tid!r}: negative relative deadline "
+                    f"{w.relative_deadline:g}"
+                )
+        for src, dst, _ in graph.edges():
+            if src in self.windows and dst in self.windows:
+                d_src = self.windows[src].absolute_deadline
+                a_dst = self.windows[dst].arrival
+                if not time_leq(d_src, a_dst):
+                    problems.append(
+                        f"arc ({src!r}, {dst!r}): windows overlap "
+                        f"(D_{src}={d_src:g} > a_{dst}={a_dst:g})"
+                    )
+        for tid in graph.input_tasks():
+            if tid in self.windows:
+                phased = graph.task(tid).phasing
+                if not time_leq(phased, self.windows[tid].arrival):
+                    problems.append(
+                        f"input task {tid!r}: arrival "
+                        f"{self.windows[tid].arrival:g} precedes phasing "
+                        f"{phased:g}"
+                    )
+        for tid in graph.output_tasks():
+            bound = graph.output_deadline(tid)
+            if bound is not None and tid in self.windows:
+                d = self.windows[tid].absolute_deadline
+                if not time_leq(d, bound):
+                    problems.append(
+                        f"output task {tid!r}: absolute deadline {d:g} "
+                        f"exceeds E-T-E bound {bound:g}"
+                    )
+        return problems
+
+    def verify(self, graph: TaskGraph) -> None:
+        """Raise :class:`DistributionError` on any invariant violation."""
+        problems = self.violations(graph)
+        if problems:
+            raise DistributionError(
+                f"{len(problems)} invariant violation(s): "
+                + "; ".join(problems[:5])
+                + ("; ..." if len(problems) > 5 else "")
+            )
+
+    def path_constraint_satisfied(self, graph: TaskGraph) -> bool:
+        """Whether eq. 1 holds for every E-T-E pair (via the invariants)."""
+        return not self.violations(graph)
+
+    # ------------------------------------------------------------------
+    # Quantization (§3.1's discrete time units)
+    # ------------------------------------------------------------------
+    def quantized(self, unit: Time = 1.0) -> "DeadlineAssignment":
+        """Snap every window onto the discrete time grid.
+
+        The paper models time as integral units (§3.1); the metric
+        arithmetic produces fractional windows.  Quantization floors
+        every arrival and absolute deadline to a multiple of *unit*,
+        which preserves all slicing invariants, because flooring is
+        monotone: ``D_i <= a_j`` implies ``floor(D_i) <= floor(a_j)``,
+        windows stay non-negative, and absolute deadlines only move
+        earlier (never past an E-T-E bound).  Input-task phasings must
+        themselves lie on the grid or the phasing invariant can break
+        (checked by the caller via :meth:`violations`).
+        """
+        if unit <= 0.0:
+            raise DistributionError("quantization unit must be positive")
+
+        def snap(t: Time) -> Time:
+            # tolerate values a hair under a grid line
+            return math.floor(t / unit + 1e-9) * unit
+
+        windows = {}
+        for tid, w in self.windows.items():
+            a = snap(w.arrival)
+            d_abs = snap(w.absolute_deadline)
+            windows[tid] = TaskWindow(a, d_abs - a, d_abs)
+        return DeadlineAssignment(
+            windows=windows,
+            metric_name=self.metric_name,
+            estimator_name=self.estimator_name,
+            paths=list(self.paths),
+            degenerate=self.degenerate,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "format": "repro.assignment/1",
+            "metric": self.metric_name,
+            "estimator": self.estimator_name,
+            "degenerate": self.degenerate,
+            "paths": [list(p) for p in self.paths],
+            "windows": {
+                tid: {
+                    "arrival": w.arrival,
+                    "relative_deadline": w.relative_deadline,
+                    "absolute_deadline": w.absolute_deadline,
+                }
+                for tid, w in self.windows.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DeadlineAssignment":
+        """Inverse of :meth:`to_dict`."""
+        windows = {
+            tid: TaskWindow(
+                arrival=float(w["arrival"]),
+                relative_deadline=float(w["relative_deadline"]),
+                absolute_deadline=float(w["absolute_deadline"]),
+            )
+            for tid, w in data["windows"].items()
+        }
+        return cls(
+            windows=windows,
+            metric_name=data.get("metric", "?"),
+            estimator_name=data.get("estimator", "?"),
+            paths=[tuple(p) for p in data.get("paths", [])],
+            degenerate=bool(data.get("degenerate", False)),
+        )

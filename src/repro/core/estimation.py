@@ -1,0 +1,215 @@
+"""Estimated-WCET strategies for relaxed locality constraints (§5.3).
+
+Under relaxed locality constraints the task-to-processor assignment is
+unknown when deadlines are distributed, so the slicing technique works
+with an *estimated* WCET ``c̄_i`` per task, summarizing the per-class
+WCET vector:
+
+* **WCET-AVG** (eq. 9) — mean over all valid classes (paper default);
+* **WCET-MAX** (eq. 10) — pessimistic maximum;
+* **WCET-MIN** (eq. 11) — optimistic minimum.
+
+"Valid" classes are those the task is eligible on; when a platform is
+supplied, classes it does not instantiate are excluded as well.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..errors import EligibilityError
+from ..graph.task import Task
+from ..graph.taskgraph import TaskGraph
+from ..system.platform import Platform
+from ..types import Time
+
+__all__ = [
+    "WcetEstimator",
+    "WcetAvg",
+    "WcetMax",
+    "WcetMin",
+    "WcetAuto",
+    "WCET_AVG",
+    "WCET_MAX",
+    "WCET_MIN",
+    "WCET_AUTO",
+    "get_estimator",
+    "estimate_map",
+]
+
+
+class WcetEstimator(ABC):
+    """Strategy turning a per-class WCET vector into a scalar ``c̄_i``."""
+
+    #: Registry/reporting name (e.g. ``"WCET-AVG"``).
+    name: str = "WCET-?"
+
+    @abstractmethod
+    def combine(self, wcets: Sequence[Time]) -> Time:
+        """Summarize the non-empty sequence of valid per-class WCETs."""
+
+    def estimate(self, task: Task, platform: Platform | None = None) -> Time:
+        """Estimated WCET ``c̄_i`` of *task*, optionally platform-aware."""
+        if platform is None:
+            values = list(task.wcet.values())
+        else:
+            usable = set(platform.used_class_ids())
+            values = [c for cls, c in task.wcet.items() if cls in usable]
+            if not values:
+                raise EligibilityError(
+                    f"task {task.id!r} has no eligible class on this platform"
+                )
+        return self.combine(values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class WcetAvg(WcetEstimator):
+    """``c̄_i = (Σ_k c_i[e_k]) / |E|`` over valid classes (eq. 9)."""
+
+    name = "WCET-AVG"
+
+    def combine(self, wcets: Sequence[Time]) -> Time:
+        return sum(wcets) / len(wcets)
+
+
+class WcetMax(WcetEstimator):
+    """``c̄_i = max_k c_i[e_k]`` over valid classes (eq. 10)."""
+
+    name = "WCET-MAX"
+
+    def combine(self, wcets: Sequence[Time]) -> Time:
+        return max(wcets)
+
+
+class WcetMin(WcetEstimator):
+    """``c̄_i = min_k c_i[e_k]`` over valid classes (eq. 11)."""
+
+    name = "WCET-MIN"
+
+    def combine(self, wcets: Sequence[Time]) -> Time:
+        return min(wcets)
+
+
+class WcetAuto(WcetEstimator):
+    """The paper's §6.4 recommendation as a strategy.
+
+    "For systems with uniform or near-uniform task execution times, the
+    WCET-MAX strategy is the best choice.  For systems with a large
+    distribution of task execution times, the WCET-AVG strategy is the
+    preferred choice."
+
+    The strategy is *graph-aware*: it measures the task set's
+    execution-time spread — the mean over tasks of
+    ``(max_k c_i[e_k] − min_k c_i[e_k]) / mean_k c_i[e_k]`` plus the
+    relative spread of the per-task means across the set (the two
+    components the ETD parameter controls in §5.2) — and delegates to
+    WCET-MAX below ``spread_threshold``, WCET-AVG at or above it.
+
+    When used task-by-task (no graph context) it falls back to
+    WCET-MAX, the near-uniform default.
+    """
+
+    name = "WCET-AUTO"
+
+    def __init__(self, spread_threshold: float = 1.0) -> None:
+        if spread_threshold <= 0.0:
+            raise EligibilityError("spread threshold must be positive")
+        self.spread_threshold = spread_threshold
+
+    def combine(self, wcets: Sequence[Time]) -> Time:
+        return max(wcets)
+
+    @staticmethod
+    def spread(graph: TaskGraph, platform: Platform | None = None) -> float:
+        """The task set's execution-time spread figure (see class doc)."""
+        per_task_means: list[Time] = []
+        class_spreads: list[float] = []
+        usable = (
+            set(platform.used_class_ids()) if platform is not None else None
+        )
+        for task in graph.tasks():
+            values = [
+                c
+                for cls, c in task.wcet.items()
+                if usable is None or cls in usable
+            ]
+            if not values:
+                raise EligibilityError(
+                    f"task {task.id!r} has no eligible class on this platform"
+                )
+            mean = sum(values) / len(values)
+            per_task_means.append(mean)
+            class_spreads.append((max(values) - min(values)) / mean)
+        if not per_task_means:
+            raise EligibilityError("cannot measure spread of an empty set")
+        overall_mean = sum(per_task_means) / len(per_task_means)
+        if overall_mean <= 0.0:
+            return 0.0
+        across = (max(per_task_means) - min(per_task_means)) / overall_mean
+        within = sum(class_spreads) / len(class_spreads)
+        return across + within
+
+    def estimate_graph(
+        self, graph: TaskGraph, platform: Platform | None = None
+    ) -> dict[str, Time]:
+        """Per-task estimates with the MAX/AVG choice made per task set."""
+        delegate = (
+            WCET_MAX
+            if self.spread(graph, platform) < self.spread_threshold
+            else WCET_AVG
+        )
+        return {
+            task.id: delegate.estimate(task, platform)
+            for task in graph.tasks()
+        }
+
+
+#: Shared singleton instances (the strategies are stateless, except
+#: WCET-AUTO whose default threshold is also fixed).
+WCET_AVG = WcetAvg()
+WCET_MAX = WcetMax()
+WCET_MIN = WcetMin()
+WCET_AUTO = WcetAuto()
+
+_REGISTRY: dict[str, WcetEstimator] = {
+    "WCET-AVG": WCET_AVG,
+    "WCET-MAX": WCET_MAX,
+    "WCET-MIN": WCET_MIN,
+    "WCET-AUTO": WCET_AUTO,
+    "AVG": WCET_AVG,
+    "MAX": WCET_MAX,
+    "MIN": WCET_MIN,
+    "AUTO": WCET_AUTO,
+}
+
+
+def get_estimator(name: str | WcetEstimator) -> WcetEstimator:
+    """Resolve an estimator by name (case-insensitive) or pass through."""
+    if isinstance(name, WcetEstimator):
+        return name
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise EligibilityError(
+            f"unknown WCET estimation strategy {name!r}; "
+            f"choose from {sorted(set(_REGISTRY))}"
+        ) from None
+
+
+def estimate_map(
+    graph: TaskGraph,
+    estimator: WcetEstimator | str = WCET_AVG,
+    platform: Platform | None = None,
+) -> dict[str, Time]:
+    """Estimated WCET ``c̄_i`` for every task of *graph*.
+
+    Graph-aware strategies (WCET-AUTO) see the whole task set; the
+    per-task strategies are applied independently.
+    """
+    est = get_estimator(estimator)
+    if isinstance(est, WcetAuto):
+        return est.estimate_graph(graph, platform)
+    return {task.id: est.estimate(task, platform) for task in graph.tasks()}

@@ -1,0 +1,331 @@
+"""Critical-path metrics for the slicing technique (§4.5).
+
+A critical-path metric plays two roles in Algorithm SLICING:
+
+1. **Path assessment** — the metric value ``R`` of a candidate path
+   measures how *critical* (laxity-starved) the path is; each iteration
+   picks the path minimizing ``R``.
+2. **Deadline distribution** — once a path is chosen, the metric's
+   sharing rule splits the path window into per-task relative deadlines
+   whose sum equals the window exactly.
+
+The four metrics of the paper:
+
+=============  =====================  =====================================
+metric         R over path Φ          relative deadline d_i
+=============  =====================  =====================================
+NORM (eq.2-3)  (W − Σc̄) / Σc̄          c̄_i (1 + R)
+PURE (eq.4-5)  (W − Σc̄) / n_Φ         c̄_i + R
+ADAPT-G (eq.6) (W − Σĉ) / n_Φ         ĉ_i + R, ĉ from global parallelism ξ
+ADAPT-L (eq.8) (W − Σĉ) / n_Φ         ĉ_i + R, ĉ from parallel sets |Ψ_i|
+=============  =====================  =====================================
+
+where ``W`` is the path's end-to-end window, ``c̄_i`` the estimated WCET
+and ``ĉ_i`` the *virtual execution time*: tasks whose estimated WCET
+reaches the execution-time threshold ``c_thres`` are inflated by a
+surplus factor (``k_G ξ / m`` globally, ``k_L |Ψ_i| / m`` locally) so
+the distribution hands them extra laxity to survive processor
+contention.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import MetricError
+from ..graph.algorithms import TransitiveClosure, average_parallelism
+from ..graph.taskgraph import TaskGraph
+from ..system.platform import Platform
+from ..types import Time
+
+__all__ = [
+    "AdaptiveParams",
+    "MetricState",
+    "CriticalPathMetric",
+    "PureMetric",
+    "NormMetric",
+    "AdaptGMetric",
+    "AdaptLMetric",
+    "get_metric",
+    "METRIC_NAMES",
+    "virtual_times_global",
+    "virtual_times_local",
+]
+
+
+@dataclass(frozen=True)
+class AdaptiveParams:
+    """Tuning knobs of the adaptive metrics (§4.5, defaults from §6).
+
+    ``c_thres`` is the execution-time threshold.  When ``None`` it is
+    computed as ``c_thres_factor × mean(c̄)`` over the task graph, which
+    reproduces the paper's ``c_thres = 1.0 · c_mean`` for workloads whose
+    estimated WCETs average to the generator's mean execution time.
+    """
+
+    k_g: float = 1.5
+    k_l: float = 0.2
+    c_thres: Time | None = None
+    c_thres_factor: float = 1.0
+
+    def threshold(self, estimates: Mapping[str, Time]) -> Time:
+        """Resolve the execution-time threshold for a concrete workload."""
+        if self.c_thres is not None:
+            return self.c_thres
+        if not estimates:
+            raise MetricError("cannot derive c_thres from an empty task set")
+        mean = sum(estimates.values()) / len(estimates)
+        return self.c_thres_factor * mean
+
+
+@dataclass(frozen=True)
+class MetricState:
+    """Per-workload precomputation of a metric.
+
+    ``weights`` maps task id to the execution-time figure the metric
+    uses along paths — the estimated WCET ``c̄_i`` for the non-adaptive
+    metrics, the virtual execution time ``ĉ_i`` for the adaptive ones.
+    """
+
+    metric_name: str
+    weights: Mapping[str, Time]
+
+    def path_weight(self, path: Sequence[str]) -> Time:
+        """Accumulated weight ``Σ w_i`` along *path*."""
+        w = self.weights
+        return sum(w[tid] for tid in path)
+
+
+def virtual_times_global(
+    estimates: Mapping[str, Time],
+    *,
+    xi: float,
+    m: int,
+    k_g: float,
+    c_thres: Time,
+) -> dict[str, Time]:
+    """Virtual execution times of ADAPT-G (eq. 6).
+
+    ``ĉ_i = c̄_i`` below the threshold, else ``c̄_i (1 + k_G ξ / m)``.
+    """
+    if m < 1:
+        raise MetricError("m must be at least 1")
+    surplus = 1.0 + k_g * xi / m
+    return {
+        tid: c * surplus if c >= c_thres else c for tid, c in estimates.items()
+    }
+
+
+def virtual_times_local(
+    estimates: Mapping[str, Time],
+    *,
+    parallel_set_sizes: Mapping[str, int],
+    m: int,
+    k_l: float,
+    c_thres: Time,
+) -> dict[str, Time]:
+    """Virtual execution times of ADAPT-L (eq. 8).
+
+    ``ĉ_i = c̄_i`` below the threshold, else ``c̄_i (1 + k_L |Ψ_i| / m)``.
+    """
+    if m < 1:
+        raise MetricError("m must be at least 1")
+    out: dict[str, Time] = {}
+    for tid, c in estimates.items():
+        if c >= c_thres:
+            out[tid] = c * (1.0 + k_l * parallel_set_sizes[tid] / m)
+        else:
+            out[tid] = c
+    return out
+
+
+class CriticalPathMetric(ABC):
+    """Base class for the slicing technique's critical-path metrics."""
+
+    #: Reporting/registry name.
+    name: str = "?"
+
+    @abstractmethod
+    def prepare(
+        self,
+        graph: TaskGraph,
+        estimates: Mapping[str, Time],
+        platform: Platform,
+    ) -> MetricState:
+        """Precompute per-workload state (virtual times etc.)."""
+
+    @abstractmethod
+    def ratio_from_totals(
+        self, window: Time, total_weight: Time, length: int
+    ) -> float:
+        """Metric value from a path's aggregate weight and length.
+
+        The critical-path search tracks ``Σ ŵ`` and the hop count along
+        its DP, so candidates can be scored without materializing the
+        path (the hot loop of Algorithm SLICING).
+        """
+
+    def ratio(self, window: Time, path: Sequence[str], state: MetricState) -> float:
+        """Metric value ``R`` of a path occupying *window* time units."""
+        if not path:
+            raise MetricError("cannot evaluate a metric on an empty path")
+        return self.ratio_from_totals(
+            window, state.path_weight(path), len(path)
+        )
+
+    @abstractmethod
+    def deadlines(
+        self, window: Time, path: Sequence[str], state: MetricState
+    ) -> dict[str, Time]:
+        """Relative deadline ``d_i`` per path task; ``Σ d_i == window``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class _EqualShareMetric(CriticalPathMetric):
+    """PURE-family sharing: ``R = (W − Σw)/n`` and ``d_i = w_i + R``."""
+
+    def ratio_from_totals(
+        self, window: Time, total_weight: Time, length: int
+    ) -> float:
+        return (window - total_weight) / length
+
+    def deadlines(
+        self, window: Time, path: Sequence[str], state: MetricState
+    ) -> dict[str, Time]:
+        share = self.ratio(window, path, state)
+        return {tid: state.weights[tid] + share for tid in path}
+
+
+class PureMetric(_EqualShareMetric):
+    """PURE — pure laxity ratio (eqs. 4–5): equal laxity share per task."""
+
+    name = "PURE"
+
+    def prepare(
+        self,
+        graph: TaskGraph,
+        estimates: Mapping[str, Time],
+        platform: Platform,
+    ) -> MetricState:
+        return MetricState(self.name, dict(estimates))
+
+
+class NormMetric(CriticalPathMetric):
+    """NORM — normalized laxity ratio (eqs. 2–3): proportional laxity."""
+
+    name = "NORM"
+
+    def prepare(
+        self,
+        graph: TaskGraph,
+        estimates: Mapping[str, Time],
+        platform: Platform,
+    ) -> MetricState:
+        return MetricState(self.name, dict(estimates))
+
+    def ratio_from_totals(
+        self, window: Time, total_weight: Time, length: int
+    ) -> float:
+        if total_weight <= 0.0:
+            raise MetricError("NORM requires positive execution times")
+        return (window - total_weight) / total_weight
+
+    def deadlines(
+        self, window: Time, path: Sequence[str], state: MetricState
+    ) -> dict[str, Time]:
+        r = self.ratio(window, path, state)
+        return {tid: state.weights[tid] * (1.0 + r) for tid in path}
+
+
+class AdaptGMetric(_EqualShareMetric):
+    """ADAPT-G — globally adaptive laxity ratio (eqs. 6–7).
+
+    Equal-share distribution over *virtual* execution times inflated by
+    the global surplus factor ``k_G ξ / m`` for tasks at or above the
+    execution-time threshold.
+    """
+
+    name = "ADAPT-G"
+
+    def __init__(self, params: AdaptiveParams | None = None) -> None:
+        self.params = params or AdaptiveParams()
+
+    def prepare(
+        self,
+        graph: TaskGraph,
+        estimates: Mapping[str, Time],
+        platform: Platform,
+    ) -> MetricState:
+        xi = average_parallelism(graph, lambda tid: estimates[tid])
+        virtual = virtual_times_global(
+            estimates,
+            xi=xi,
+            m=platform.m,
+            k_g=self.params.k_g,
+            c_thres=self.params.threshold(estimates),
+        )
+        return MetricState(self.name, virtual)
+
+
+class AdaptLMetric(_EqualShareMetric):
+    """ADAPT-L — locally adaptive laxity ratio (eq. 8), the paper's contribution.
+
+    Equal-share distribution over virtual execution times inflated by
+    the *per-task* surplus factor ``k_L |Ψ_i| / m`` where ``Ψ_i`` is the
+    task's parallel set (tasks neither preceding nor succeeding it in
+    the transitive closure) — i.e. the actual contention the task can
+    experience.
+    """
+
+    name = "ADAPT-L"
+
+    def __init__(self, params: AdaptiveParams | None = None) -> None:
+        self.params = params or AdaptiveParams()
+
+    def prepare(
+        self,
+        graph: TaskGraph,
+        estimates: Mapping[str, Time],
+        platform: Platform,
+    ) -> MetricState:
+        closure = TransitiveClosure(graph)
+        sizes = {
+            tid: closure.parallel_set_size(tid) for tid in graph.task_ids()
+        }
+        virtual = virtual_times_local(
+            estimates,
+            parallel_set_sizes=sizes,
+            m=platform.m,
+            k_l=self.params.k_l,
+            c_thres=self.params.threshold(estimates),
+        )
+        return MetricState(self.name, virtual)
+
+
+#: Canonical metric names in the order the paper's figures plot them.
+METRIC_NAMES: tuple[str, ...] = ("PURE", "NORM", "ADAPT-G", "ADAPT-L")
+
+
+def get_metric(
+    name: str | CriticalPathMetric,
+    params: AdaptiveParams | None = None,
+) -> CriticalPathMetric:
+    """Resolve a metric by name; *params* configures the adaptive ones."""
+    if isinstance(name, CriticalPathMetric):
+        return name
+    key = name.upper().replace("_", "-")
+    if key == "PURE":
+        return PureMetric()
+    if key == "NORM":
+        return NormMetric()
+    if key in ("ADAPT-G", "ADAPTG"):
+        return AdaptGMetric(params)
+    if key in ("ADAPT-L", "ADAPTL"):
+        return AdaptLMetric(params)
+    raise MetricError(
+        f"unknown critical-path metric {name!r}; choose from {METRIC_NAMES}"
+    )

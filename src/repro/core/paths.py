@@ -1,0 +1,166 @@
+"""Critical-path search under relaxed locality constraints (§4.4 step 3).
+
+Each iteration of Algorithm SLICING must find, among the not-yet-assigned
+tasks Π, the path minimizing the metric value ``R``.  A candidate path
+
+* starts at a **head** — a task whose arrival time is already pinned
+  (an input task, or a task with at least one assigned immediate
+  predecessor, cf. Fig. 1 step 10);
+* ends at a **tail** — a task whose absolute deadline is already pinned
+  (an output task under an E-T-E deadline, or a task with at least one
+  assigned immediate successor, cf. step 7);
+* may pass *through* other pinned tasks: an interior pinned arrival is a
+  lower bound on that task's slice start and an interior pinned deadline
+  an upper bound on its slice end.  The deadline distribution
+  (:func:`repro.core.slicing` boundary projection) enforces those bounds,
+  which preserves the slicing invariant ``D_i <= a_j`` on *every*
+  precedence arc while keeping paths long — ending every path at the
+  first pinned task would fragment the decomposition into singletons and
+  starve the metrics of anything to distribute over.
+
+For a fixed head/tail pair the window ``W = dl(tail) − arr(head)`` is a
+constant, so minimizing ``R`` reduces to maximizing the accumulated
+metric weight ``Σ ŵ`` along the path; one longest-path DP per head
+(linear in nodes + arcs) yields the best candidate per pair, and the
+global minimum-``R`` candidate wins.  This matches the breadth-first
+heuristic search and per-iteration complexity the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Mapping, Sequence
+
+from ..graph.taskgraph import TaskGraph
+from ..types import Time
+from .metrics import CriticalPathMetric, MetricState
+
+__all__ = ["PathCandidate", "find_critical_path"]
+
+
+@dataclass(frozen=True)
+class PathCandidate:
+    """A candidate critical path with its window and metric value."""
+
+    path: tuple[str, ...]
+    arrival: Time
+    deadline: Time
+    ratio: float
+    weight: Time
+
+    @property
+    def window(self) -> Time:
+        """Window length ``W = deadline − arrival`` (may be negative)."""
+        return self.deadline - self.arrival
+
+
+def find_critical_path(
+    graph: TaskGraph,
+    active: AbstractSet[str],
+    arrivals: Mapping[str, Time],
+    deadlines: Mapping[str, Time],
+    metric: CriticalPathMetric,
+    state: MetricState,
+    *,
+    topo_order: Sequence[str] | None = None,
+) -> PathCandidate | None:
+    """Find the minimum-``R`` path among the active tasks.
+
+    Parameters
+    ----------
+    graph:
+        The full task graph.
+    active:
+        The set Π of tasks still awaiting deadline assignment.
+    arrivals / deadlines:
+        Pinned tentative arrival times / absolute deadlines for (a
+        subset of) active tasks; membership defines heads and tails.
+    metric / state:
+        The critical-path metric and its prepared per-workload state.
+    topo_order:
+        Optional precomputed topological order of the full graph (an
+        optimization for the slicing main loop).
+
+    Returns ``None`` when no head can reach a tail, which for a valid
+    workload only happens once ``active`` is empty.
+    """
+    if not active:
+        return None
+    order = topo_order if topo_order is not None else graph.topological_order()
+    weights = state.weights
+
+    heads = [t for t in order if t in active and t in arrivals]
+    best: PathCandidate | None = None
+
+    for head in heads:
+        # Longest-Σw DP from `head` over Π-internal chains.
+        dist: dict[str, Time] = {head: weights[head]}
+        count: dict[str, int] = {head: 1}
+        parent: dict[str, str | None] = {head: None}
+        for tid in order:
+            if tid not in dist:
+                continue
+            d_tid = dist[tid]
+            n_tid = count[tid]
+            for succ in graph.successors(tid):
+                if succ not in active:
+                    continue
+                cand = d_tid + weights[succ]
+                cur = dist.get(succ)
+                if (
+                    cur is None
+                    or cand > cur
+                    or (cand == cur and n_tid + 1 > count[succ])
+                ):
+                    dist[succ] = cand
+                    count[succ] = n_tid + 1
+                    parent[succ] = tid
+
+        for tail, total_w in dist.items():
+            if tail not in deadlines:
+                continue
+            window = deadlines[tail] - arrivals[head]
+            n = count[tail]
+            r = metric.ratio_from_totals(window, total_w, n)
+            # Score candidates from the DP aggregates; materialize the
+            # path only when a candidate wins (or exactly ties) — path
+            # reconstruction dominated the slicing profile otherwise.
+            if best is not None:
+                if r > best.ratio:
+                    continue
+                if r == best.ratio:
+                    if total_w < best.weight:
+                        continue
+                    if total_w == best.weight:
+                        if n < len(best.path):
+                            continue
+                        if n == len(best.path):
+                            path = _reconstruct(parent, tail)
+                            if not tuple(path) < best.path:
+                                continue
+                            best = PathCandidate(
+                                path=tuple(path),
+                                arrival=arrivals[head],
+                                deadline=deadlines[tail],
+                                ratio=r,
+                                weight=total_w,
+                            )
+                            continue
+            best = PathCandidate(
+                path=tuple(_reconstruct(parent, tail)),
+                arrival=arrivals[head],
+                deadline=deadlines[tail],
+                ratio=r,
+                weight=total_w,
+            )
+    return best
+
+
+def _reconstruct(parent: Mapping[str, str | None], tail: str) -> list[str]:
+    path = [tail]
+    node: str | None = parent[tail]
+    while node is not None:
+        path.append(node)
+        node = parent[node]
+    path.reverse()
+    return path

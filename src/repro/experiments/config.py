@@ -1,0 +1,154 @@
+"""Declarative experiment definitions (JSON documents).
+
+Custom experiments without writing Python: a JSON document names the
+sweep variable, the series, and base settings; :func:`spec_from_dict`
+turns it into an :class:`~repro.experiments.spec.ExperimentSpec` that
+`run_experiment` / the CLI can execute.
+
+Document shape::
+
+    {
+      "name": "my-sweep",
+      "title": "ADAPT-L vs PURE over CCR",
+      "x": {"field": "workload.ccr", "values": [0.0, 0.5, 1.0]},
+      "series": [
+        {"label": "PURE",    "set": {"metric": "PURE"}},
+        {"label": "ADAPT-L", "set": {"metric": "ADAPT-L"}}
+      ],
+      "base": {"workload.m": 3, "workload.olr": 0.7, "adaptive.k_l": 0.2}
+    }
+
+Settable fields (dotted paths):
+
+* ``metric``, ``estimator``, ``scheduler``, ``contention_bus``,
+  ``measure_lateness``, ``locality`` — trial-level knobs;
+* ``workload.<field>`` — any :class:`~repro.workload.WorkloadParams`
+  field (tuple fields accept 2-element lists);
+* ``adaptive.<field>`` — any
+  :class:`~repro.core.metrics.AdaptiveParams` field.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.metrics import AdaptiveParams
+from ..errors import ExperimentError
+from ..workload.params import WorkloadParams
+from .spec import ExperimentSpec, TrialConfig
+
+__all__ = ["spec_from_dict", "load_spec", "apply_setting"]
+
+_TRIAL_FIELDS = {
+    "metric",
+    "estimator",
+    "scheduler",
+    "contention_bus",
+    "measure_lateness",
+    "locality",
+}
+
+_TUPLE_FIELDS = {
+    "n_classes_range",
+    "n_tasks_range",
+    "depth_range",
+    "fan_range",
+}
+
+
+def apply_setting(config: TrialConfig, path: str, value: Any) -> TrialConfig:
+    """Return a copy of *config* with the dotted *path* set to *value*."""
+    if path in _TRIAL_FIELDS:
+        return replace(config, **{path: value})
+    scope, _, field = path.partition(".")
+    if not field:
+        raise ExperimentError(
+            f"unknown setting {path!r}; trial-level settings are "
+            f"{sorted(_TRIAL_FIELDS)}, nested ones use 'workload.<f>' or "
+            "'adaptive.<f>'"
+        )
+    if scope == "workload":
+        if field in _TUPLE_FIELDS:
+            value = tuple(value)
+        if field not in WorkloadParams.__dataclass_fields__:
+            raise ExperimentError(f"unknown workload field {field!r}")
+        return replace(
+            config, workload=config.workload.with_overrides(**{field: value})
+        )
+    if scope == "adaptive":
+        if field not in AdaptiveParams.__dataclass_fields__:
+            raise ExperimentError(f"unknown adaptive field {field!r}")
+        return replace(
+            config, adaptive=replace(config.adaptive, **{field: value})
+        )
+    raise ExperimentError(f"unknown setting scope {scope!r} in {path!r}")
+
+
+def spec_from_dict(doc: Mapping[str, Any]) -> ExperimentSpec:
+    """Build an :class:`ExperimentSpec` from a declarative document."""
+    try:
+        name = doc["name"]
+        x_doc = doc["x"]
+        x_field = x_doc["field"]
+        x_values = list(x_doc["values"])
+        series_docs = list(doc["series"])
+    except (KeyError, TypeError) as exc:
+        raise ExperimentError(
+            f"experiment document missing required key: {exc}"
+        ) from exc
+    if not series_docs:
+        raise ExperimentError("experiment document needs at least one series")
+
+    base_settings = dict(doc.get("base", {}))
+    labels: list[str] = []
+    series_settings: dict[str, dict[str, Any]] = {}
+    for entry in series_docs:
+        try:
+            label = entry["label"]
+            settings = dict(entry.get("set", {}))
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(f"malformed series entry: {entry!r}") from exc
+        labels.append(label)
+        series_settings[label] = settings
+
+    # Validate every setting once up front (fail fast, good messages).
+    probe = TrialConfig()
+    for path, value in base_settings.items():
+        probe = apply_setting(probe, path, value)
+    for settings in series_settings.values():
+        p = probe
+        for path, value in settings.items():
+            p = apply_setting(p, path, value)
+    for x in x_values:
+        apply_setting(probe, x_field, x)
+
+    def config_for(x: Any, label: str) -> TrialConfig:
+        config = TrialConfig()
+        for path, value in base_settings.items():
+            config = apply_setting(config, path, value)
+        for path, value in series_settings[label].items():
+            config = apply_setting(config, path, value)
+        return apply_setting(config, x_field, x)
+
+    return ExperimentSpec(
+        name=name,
+        title=doc.get("title", name),
+        x_label=doc.get("x_label", x_field),
+        x_values=x_values,
+        series=labels,
+        config_for=config_for,
+        description=doc.get("description", ""),
+        paper_reference=doc.get("paper_reference", "custom"),
+    )
+
+
+def load_spec(path: str | Path) -> ExperimentSpec:
+    """Load a declarative experiment from a JSON file."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"cannot read experiment {path}: {exc}") from exc
+    return spec_from_dict(doc)

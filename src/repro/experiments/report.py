@@ -1,0 +1,109 @@
+"""Rendering and persisting experiment results."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..analysis.series import ascii_chart
+from ..analysis.tables import format_markdown_table, format_table
+from .runner import ExperimentResult
+
+__all__ = [
+    "result_table",
+    "result_markdown",
+    "result_chart",
+    "lateness_table",
+    "save_json",
+    "save_csv",
+    "render_report",
+]
+
+
+def _rows(result: ExperimentResult, *, with_ci: bool) -> list[list[str]]:
+    rows: list[list[str]] = []
+    for xi, x in enumerate(result.x_values):
+        row: list[str] = [f"{x:g}" if isinstance(x, float) else str(x)]
+        for label in result.series:
+            cell = result.cell(xi, label)
+            if with_ci:
+                lo, hi = cell.estimate.interval
+                row.append(f"{cell.ratio:.3f} [{lo:.3f},{hi:.3f}]")
+            else:
+                row.append(f"{cell.ratio:.3f}")
+        rows.append(row)
+    return rows
+
+
+def result_table(result: ExperimentResult, *, with_ci: bool = False) -> str:
+    """Fixed-width table: one row per x value, one column per series."""
+    headers = [result.x_label] + list(result.series)
+    return format_table(headers, _rows(result, with_ci=with_ci))
+
+
+def _has_lateness(result: ExperimentResult) -> bool:
+    return any(c.lateness_trials > 0 for c in result.cells.values())
+
+
+def lateness_table(result: ExperimentResult) -> str:
+    """Mean maximum-lateness table (§4.2 secondary quality measure)."""
+    headers = [result.x_label] + [f"{s} (max lateness)" for s in result.series]
+    rows: list[list[str]] = []
+    for xi, x in enumerate(result.x_values):
+        row = [f"{x:g}" if isinstance(x, float) else str(x)]
+        for label in result.series:
+            cell = result.cell(xi, label)
+            if cell.lateness_trials:
+                row.append(f"{cell.mean_max_lateness:.1f}")
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def result_markdown(result: ExperimentResult, *, with_ci: bool = True) -> str:
+    """Markdown table (used by EXPERIMENTS.md)."""
+    headers = [result.x_label] + list(result.series)
+    return format_markdown_table(headers, _rows(result, with_ci=with_ci))
+
+
+def result_chart(result: ExperimentResult, *, height: int = 14) -> str:
+    """ASCII success-ratio chart of all series."""
+    series = {label: result.ratios(label) for label in result.series}
+    return ascii_chart(result.x_values, series, height=height)
+
+
+def render_report(result: ExperimentResult) -> str:
+    """Title + table + chart + provenance, ready for the terminal."""
+    parts = [
+        f"== {result.title} ({result.name}, {result.paper_reference}) ==",
+        result_table(result, with_ci=True),
+    ]
+    if _has_lateness(result):
+        parts += ["", lateness_table(result)]
+    parts += [
+        "",
+        result_chart(result),
+        (
+            f"trials/cell={result.trials_per_cell} seed={result.seed} "
+            f"elapsed={result.elapsed_seconds:.1f}s"
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def save_json(result: ExperimentResult, path: str | Path) -> None:
+    """Persist the full result (counts, intervals, provenance) as JSON."""
+    Path(path).write_text(json.dumps(result.to_dict(), indent=2))
+
+
+def save_csv(result: ExperimentResult, path: str | Path) -> None:
+    """Persist the success-ratio matrix as CSV (one column per series)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([result.x_label] + list(result.series))
+        for xi, x in enumerate(result.x_values):
+            writer.writerow(
+                [x] + [result.cell(xi, s).ratio for s in result.series]
+            )

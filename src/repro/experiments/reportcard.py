@@ -1,0 +1,122 @@
+"""Combined report generation from saved experiment results.
+
+``repro-figures --all --out results/`` leaves one JSON document per
+experiment; :func:`build_report` folds a whole results directory back
+into a single Markdown report (tables + provenance), ready to diff
+against EXPERIMENTS.md or paste into a lab notebook.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..analysis.tables import format_markdown_table
+from ..errors import ExperimentError
+
+__all__ = ["load_result_doc", "result_doc_markdown", "build_report"]
+
+
+def load_result_doc(path: str | Path) -> dict[str, Any]:
+    """Load and validate one saved experiment-result JSON document."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"cannot read result {path}: {exc}") from exc
+    if doc.get("format") != "repro.experiment-result/1":
+        raise ExperimentError(
+            f"{path} is not an experiment result "
+            f"(format={doc.get('format')!r})"
+        )
+    return doc
+
+
+def result_doc_markdown(doc: dict[str, Any]) -> str:
+    """Render one result document as a Markdown section."""
+    series = list(doc["series"])
+    x_values = list(doc["x_values"])
+    cells = {
+        (c["x_index"], c["series_index"]): c for c in doc["cells"]
+    }
+    rows = []
+    for xi, x in enumerate(x_values):
+        row = [f"{x:g}" if isinstance(x, float) else str(x)]
+        for si in range(len(series)):
+            cell = cells.get((xi, si))
+            if cell is None:
+                row.append("-")
+                continue
+            lo, hi = cell["interval"]
+            row.append(f"{cell['ratio']:.3f} [{lo:.3f},{hi:.3f}]")
+        rows.append(row)
+    parts = [
+        f"### {doc.get('title', doc['name'])} (`{doc['name']}`, "
+        f"{doc.get('paper_reference', '')})",
+        "",
+        format_markdown_table([doc.get("x_label", "x")] + series, rows),
+        "",
+        f"*{doc.get('trials_per_cell', '?')} trials/cell, "
+        f"seed {doc.get('seed', '?')}, "
+        f"{doc.get('elapsed_seconds', 0.0):.1f}s*",
+    ]
+    # Lateness block when the experiment measured it.
+    if any(c.get("lateness_trials", 0) > 0 for c in doc["cells"]):
+        late_rows = []
+        for xi, x in enumerate(x_values):
+            row = [f"{x:g}" if isinstance(x, float) else str(x)]
+            for si in range(len(series)):
+                cell = cells.get((xi, si))
+                if cell and cell.get("lateness_trials", 0) > 0:
+                    row.append(f"{cell['mean_max_lateness']:.1f}")
+                else:
+                    row.append("-")
+            late_rows.append(row)
+        parts += [
+            "",
+            "Mean maximum lateness:",
+            "",
+            format_markdown_table(
+                [doc.get("x_label", "x")]
+                + [f"{s} (lateness)" for s in series],
+                late_rows,
+            ),
+        ]
+    return "\n".join(parts)
+
+
+def build_report(
+    results_dir: str | Path, *, title: str = "Experiment report"
+) -> str:
+    """Fold every ``*.json`` experiment result in a directory into one report.
+
+    Non-result JSON files (e.g. heatmap exports) are skipped.  Results
+    are ordered with the paper figures first, then ablations, then the
+    rest alphabetically.
+    """
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise ExperimentError(f"{results_dir} is not a directory")
+    docs = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            docs.append(load_result_doc(path))
+        except ExperimentError:
+            continue  # other JSON artifacts live here too
+    if not docs:
+        raise ExperimentError(f"no experiment results found in {results_dir}")
+
+    def order(doc: dict[str, Any]) -> tuple[int, str]:
+        name = doc["name"]
+        if name.startswith("fig"):
+            return (0, name)
+        if name.startswith("abl-"):
+            return (1, name)
+        return (2, name)
+
+    docs.sort(key=order)
+    sections = [f"# {title}", ""]
+    for doc in docs:
+        sections.append(result_doc_markdown(doc))
+        sections.append("")
+    return "\n".join(sections)

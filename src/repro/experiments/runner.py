@@ -1,0 +1,319 @@
+"""Experiment execution: trials, cells, and multiprocessing fan-out.
+
+Determinism contract: the outcome of a trial depends only on
+``(root_seed, x_index, trial_index)`` — never on worker
+count or scheduling order.  Workers receive (config, seed-block) pairs
+and return aggregate counts, so inter-process traffic stays tiny (per
+the hpc-parallel guidance: parallelize coarse-grained units, keep the
+serial inner loop simple and measured).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..analysis.stats import BinomialEstimate
+from ..core.estimation import estimate_map, get_estimator
+from ..core.metrics import get_metric
+from ..core.slicing import distribute_deadlines
+from ..errors import ExperimentError, ReproError
+from ..rng import derive_seed, make_rng
+from ..sched.listsched import get_scheduler
+from ..system.interconnect import ContentionBus
+from ..workload.generator import generate_workload
+from .spec import ExperimentSpec, TrialConfig, TrialOutcome
+
+__all__ = ["run_trial", "run_cell", "run_experiment", "CellResult", "ExperimentResult"]
+
+
+def run_trial(config: TrialConfig, seed: int) -> TrialOutcome:
+    """Run one generate→slice→schedule trial."""
+    rng = make_rng(seed)
+    workload = generate_workload(config.workload, rng)
+    graph, platform = workload.graph, workload.platform
+
+    estimator = get_estimator(config.estimator)
+    fixed = None
+    if config.locality == "strict":
+        # Conventional regime: a clustering pre-assignment makes the
+        # execution times exact and pins every task's processor.
+        from ..assign import cluster_assignment, exact_estimates
+
+        fixed = cluster_assignment(graph, platform)
+        estimates = exact_estimates(graph, platform, fixed)
+    else:
+        estimates = estimate_map(graph, estimator, platform)
+    metric = get_metric(config.metric, config.adaptive)
+
+    assignment = distribute_deadlines(
+        graph,
+        platform,
+        metric,
+        estimator=estimator,
+        estimates=estimates,
+        validate=False,  # generator output is valid by construction
+    )
+
+    comm = (
+        ContentionBus(config.workload.bus_delay_per_item)
+        if config.contention_bus
+        else None
+    )
+    if fixed is not None:
+        from ..assign import FixedAssignmentEdfScheduler
+
+        scheduler = FixedAssignmentEdfScheduler(
+            fixed, continue_on_miss=config.measure_lateness
+        )
+    else:
+        scheduler = get_scheduler(
+            config.scheduler, continue_on_miss=config.measure_lateness
+        )
+    schedule = scheduler.schedule(graph, platform, assignment, comm=comm)
+
+    if config.measure_lateness or schedule.feasible:
+        max_lateness = schedule.max_lateness()
+    else:
+        max_lateness = float("nan")  # fail-fast schedules are partial
+    return TrialOutcome(
+        success=schedule.feasible,
+        degenerate=assignment.degenerate,
+        n_tasks=graph.n_tasks,
+        min_laxity=assignment.min_laxity(estimates),
+        makespan=schedule.makespan,
+        max_lateness=max_lateness,
+        failed_task=schedule.failed_task,
+    )
+
+
+@dataclass
+class CellResult:
+    """Aggregated outcomes of all trials of one (x, series) cell.
+
+    ``mean_max_lateness`` averages the maximum lateness over the trials
+    where it was measured (always, under ``measure_lateness``; only the
+    feasible trials otherwise); ``lateness_trials`` counts them.
+    """
+
+    estimate: BinomialEstimate
+    degenerate: int = 0
+    mean_min_laxity: float = float("nan")
+    mean_max_lateness: float = float("nan")
+    lateness_trials: int = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.estimate.ratio
+
+    @property
+    def trials(self) -> int:
+        return self.estimate.trials
+
+    def merged(self, other: "CellResult") -> "CellResult":
+        n = self.trials + other.trials
+        if n == 0:
+            lax = float("nan")
+        else:
+            lax = (
+                _nan_zero(self.mean_min_laxity) * self.trials
+                + _nan_zero(other.mean_min_laxity) * other.trials
+            ) / n
+        ln = self.lateness_trials + other.lateness_trials
+        if ln == 0:
+            late = float("nan")
+        else:
+            late = (
+                _nan_zero(self.mean_max_lateness) * self.lateness_trials
+                + _nan_zero(other.mean_max_lateness) * other.lateness_trials
+            ) / ln
+        return CellResult(
+            estimate=self.estimate.merged(other.estimate),
+            degenerate=self.degenerate + other.degenerate,
+            mean_min_laxity=lax,
+            mean_max_lateness=late,
+            lateness_trials=ln,
+        )
+
+
+def _nan_zero(v: float) -> float:
+    return 0.0 if v != v else v
+
+
+def run_cell(config: TrialConfig, seeds: Sequence[int]) -> CellResult:
+    """Run a block of trials of one cell serially (worker unit)."""
+    successes = 0
+    degenerate = 0
+    laxities: list[float] = []
+    latenesses: list[float] = []
+    for seed in seeds:
+        outcome = run_trial(config, seed)
+        successes += int(outcome.success)
+        degenerate += int(outcome.degenerate)
+        laxities.append(outcome.min_laxity)
+        if outcome.max_lateness == outcome.max_lateness:  # not NaN
+            latenesses.append(outcome.max_lateness)
+    mean_lax = sum(laxities) / len(laxities) if laxities else float("nan")
+    mean_late = (
+        sum(latenesses) / len(latenesses) if latenesses else float("nan")
+    )
+    return CellResult(
+        estimate=BinomialEstimate(successes, len(seeds)),
+        degenerate=degenerate,
+        mean_min_laxity=mean_lax,
+        mean_max_lateness=mean_late,
+        lateness_trials=len(latenesses),
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one experiment, plus provenance."""
+
+    name: str
+    title: str
+    x_label: str
+    x_values: list[Any]
+    series: list[str]
+    cells: dict[tuple[int, int], CellResult] = field(default_factory=dict)
+    trials_per_cell: int = 0
+    seed: int = 0
+    elapsed_seconds: float = 0.0
+    paper_reference: str = ""
+
+    def cell(self, x_index: int, series_label: str) -> CellResult:
+        try:
+            si = self.series.index(series_label)
+            return self.cells[(x_index, si)]
+        except (ValueError, KeyError):
+            raise ExperimentError(
+                f"no cell for x_index={x_index}, series={series_label!r}"
+            ) from None
+
+    def ratios(self, series_label: str) -> list[float]:
+        """Success-ratio curve of one series over the x sweep."""
+        return [
+            self.cell(xi, series_label).ratio
+            for xi in range(len(self.x_values))
+        ]
+
+    def latenesses(self, series_label: str) -> list[float]:
+        """Mean maximum-lateness curve (§4.2 secondary measure)."""
+        return [
+            self.cell(xi, series_label).mean_max_lateness
+            for xi in range(len(self.x_values))
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "format": "repro.experiment-result/1",
+            "name": self.name,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": list(self.x_values),
+            "series": list(self.series),
+            "trials_per_cell": self.trials_per_cell,
+            "seed": self.seed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "paper_reference": self.paper_reference,
+            "cells": [
+                {
+                    "x_index": xi,
+                    "series_index": si,
+                    "successes": cell.estimate.successes,
+                    "trials": cell.estimate.trials,
+                    "ratio": cell.ratio,
+                    "interval": list(cell.estimate.interval),
+                    "degenerate": cell.degenerate,
+                    "mean_min_laxity": cell.mean_min_laxity,
+                    "mean_max_lateness": cell.mean_max_lateness,
+                    "lateness_trials": cell.lateness_trials,
+                }
+                for (xi, si), cell in sorted(self.cells.items())
+            ],
+        }
+
+
+def _cell_seeds(root_seed: int, x_index: int, trials: int) -> list[int]:
+    """Deterministic per-trial seeds for one sweep point.
+
+    Seeds depend on the x index and trial index but *not* on the
+    series: every series at a sweep point is evaluated on the same
+    random workloads, mirroring the paper's design (one fixed set of
+    1024 task graphs judged by every metric) and giving the comparisons
+    a paired structure.  Series only change the metric/estimator/bus
+    model, never the generation, so sharing seeds is always sound.
+    """
+    return [derive_seed(root_seed, x_index, t) for t in range(trials)]
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    trials: int = 1024,
+    seed: int = 2026,
+    jobs: int | None = None,
+    chunk_size: int = 32,
+) -> ExperimentResult:
+    """Run every cell of *spec* with *trials* trials each.
+
+    ``jobs`` selects the number of worker processes (default: CPU
+    count); ``jobs <= 1`` runs serially in-process, which is also the
+    mode the test suite uses.  Results are invariant to ``jobs`` and
+    ``chunk_size``.
+    """
+    if trials < 1:
+        raise ExperimentError("trials must be at least 1")
+    start = time.perf_counter()
+    result = ExperimentResult(
+        name=spec.name,
+        title=spec.title,
+        x_label=spec.x_label,
+        x_values=list(spec.x_values),
+        series=list(spec.series),
+        trials_per_cell=trials,
+        seed=seed,
+        paper_reference=spec.paper_reference,
+    )
+
+    # Build the work units: (cell key, config, seed chunk).
+    units: list[tuple[tuple[int, int], TrialConfig, list[int]]] = []
+    for xi, _x, si, _label, config in spec.cells():
+        seeds = _cell_seeds(seed, xi, trials)
+        for lo in range(0, trials, chunk_size):
+            units.append(((xi, si), config, seeds[lo : lo + chunk_size]))
+
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    partials: list[tuple[tuple[int, int], CellResult]] = []
+    if jobs <= 1 or len(units) == 1:
+        for key, config, seeds in units:
+            partials.append((key, run_cell(config, seeds)))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                (key, pool.submit(run_cell, config, seeds))
+                for key, config, seeds in units
+            ]
+            for key, fut in futures:
+                try:
+                    partials.append((key, fut.result()))
+                except ReproError:
+                    raise
+                except Exception as exc:  # surface worker crashes clearly
+                    raise ExperimentError(
+                        f"worker failed on cell {key}: {exc}"
+                    ) from exc
+
+    for key, cell in partials:
+        if key in result.cells:
+            result.cells[key] = result.cells[key].merged(cell)
+        else:
+            result.cells[key] = cell
+
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

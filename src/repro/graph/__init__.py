@@ -1,0 +1,69 @@
+"""Task and task-graph models (§3.2) plus graph algorithms.
+
+Public surface:
+
+* :class:`Task` — immutable task with per-class WCETs.
+* :class:`TaskGraph` — the DAG ``G = (N, A)`` with message sizes and
+  end-to-end deadlines.
+* :class:`GraphBuilder` and the shape helpers (chain/fork–join/diamond).
+* Closure/parallel-set/static-level algorithms used by the metrics.
+"""
+
+from .algorithms import (
+    TransitiveClosure,
+    average_parallelism,
+    count_paths,
+    critical_path_tasks,
+    graph_depth,
+    iter_paths,
+    level_assignment,
+    longest_path_length,
+    parallel_sets,
+    static_levels,
+    transitive_closure,
+)
+from .builder import (
+    GraphBuilder,
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+    layered_graph,
+)
+from .dot import to_dot
+from .serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .task import Task
+from .taskgraph import TaskGraph
+from .transform import contract_chains, relabel, scale_wcets
+from .validation import ValidationReport, check_graph, validate_graph
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "GraphBuilder",
+    "chain_graph",
+    "fork_join_graph",
+    "diamond_graph",
+    "layered_graph",
+    "TransitiveClosure",
+    "transitive_closure",
+    "parallel_sets",
+    "static_levels",
+    "longest_path_length",
+    "average_parallelism",
+    "graph_depth",
+    "level_assignment",
+    "iter_paths",
+    "count_paths",
+    "critical_path_tasks",
+    "ValidationReport",
+    "validate_graph",
+    "check_graph",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "to_dot",
+    "contract_chains",
+    "scale_wcets",
+    "relabel",
+]

@@ -1,0 +1,194 @@
+"""Fluent construction helpers for task graphs.
+
+These are conveniences for examples and tests; the random workloads of
+the paper's evaluation come from :mod:`repro.workload.generator`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import GraphError
+from ..types import ProcessorClassId, Time
+from .task import Task
+from .taskgraph import TaskGraph
+
+__all__ = [
+    "GraphBuilder",
+    "chain_graph",
+    "fork_join_graph",
+    "diamond_graph",
+    "layered_graph",
+]
+
+
+class GraphBuilder:
+    """Fluent builder for :class:`~repro.graph.taskgraph.TaskGraph`.
+
+    Example
+    -------
+    >>> g = (GraphBuilder(default_class="cpu")
+    ...      .task("a", 10).task("b", 20).task("c", 5)
+    ...      .edge("a", "b", message=2).edge("b", "c")
+    ...      .e2e("a", "c", 100)
+    ...      .build())
+    >>> g.n_tasks
+    3
+    """
+
+    def __init__(self, default_class: str = "default") -> None:
+        self._graph = TaskGraph()
+        self._default_class = ProcessorClassId(default_class)
+        self._built = False
+
+    def task(
+        self,
+        task_id: str,
+        wcet: Time | Mapping[str, Time],
+        *,
+        phasing: Time = 0.0,
+        relative_deadline: Time | None = None,
+        period: Time | None = None,
+        resources: Sequence[str] = (),
+    ) -> "GraphBuilder":
+        """Add a task; a scalar *wcet* applies to the default class."""
+        self._check_open()
+        if isinstance(wcet, Mapping):
+            wc = {ProcessorClassId(k): float(v) for k, v in wcet.items()}
+        else:
+            wc = {self._default_class: float(wcet)}
+        self._graph.add_task(
+            Task(
+                id=task_id,
+                wcet=wc,
+                phasing=phasing,
+                relative_deadline=relative_deadline,
+                period=period,
+                resources=frozenset(resources),
+            )
+        )
+        return self
+
+    def edge(self, src: str, dst: str, *, message: float = 0.0) -> "GraphBuilder":
+        """Add a precedence arc with an optional message size."""
+        self._check_open()
+        self._graph.add_edge(src, dst, message)
+        return self
+
+    def e2e(self, src: str, dst: str, deadline: Time) -> "GraphBuilder":
+        """Attach an end-to-end deadline to an input–output pair."""
+        self._check_open()
+        self._graph.set_e2e_deadline(src, dst, deadline)
+        return self
+
+    def build(self) -> TaskGraph:
+        """Finalize and return the graph (builder becomes unusable)."""
+        self._check_open()
+        self._built = True
+        return self._graph
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise GraphError("builder already consumed by build()")
+
+
+def chain_graph(
+    wcets: Sequence[Time],
+    *,
+    e2e_deadline: Time | None = None,
+    default_class: str = "default",
+    message: float = 0.0,
+) -> TaskGraph:
+    """A purely sequential pipeline ``t0 -> t1 -> ... -> t{n-1}``."""
+    if not wcets:
+        raise GraphError("chain_graph needs at least one task")
+    b = GraphBuilder(default_class)
+    ids = [f"t{i}" for i in range(len(wcets))]
+    for tid, c in zip(ids, wcets):
+        b.task(tid, c)
+    for a, c in zip(ids, ids[1:]):
+        b.edge(a, c, message=message)
+    if e2e_deadline is not None:
+        b.e2e(ids[0], ids[-1], e2e_deadline)
+    return b.build()
+
+
+def fork_join_graph(
+    branch_wcets: Sequence[Sequence[Time]],
+    *,
+    source_wcet: Time = 1.0,
+    sink_wcet: Time = 1.0,
+    e2e_deadline: Time | None = None,
+    default_class: str = "default",
+) -> TaskGraph:
+    """A fork–join: source fans out to chains that rejoin at a sink."""
+    if not branch_wcets:
+        raise GraphError("fork_join_graph needs at least one branch")
+    b = GraphBuilder(default_class)
+    b.task("src", source_wcet).task("sink", sink_wcet)
+    for bi, branch in enumerate(branch_wcets):
+        if not branch:
+            raise GraphError("every branch needs at least one task")
+        prev = "src"
+        for ti, c in enumerate(branch):
+            tid = f"b{bi}_{ti}"
+            b.task(tid, c).edge(prev, tid)
+            prev = tid
+        b.edge(prev, "sink")
+    if e2e_deadline is not None:
+        b.e2e("src", "sink", e2e_deadline)
+    return b.build()
+
+
+def diamond_graph(
+    *,
+    top: Time = 10.0,
+    left: Time = 10.0,
+    right: Time = 10.0,
+    bottom: Time = 10.0,
+    e2e_deadline: Time | None = None,
+    default_class: str = "default",
+) -> TaskGraph:
+    """The four-task diamond ``top -> {left, right} -> bottom``."""
+    b = (
+        GraphBuilder(default_class)
+        .task("top", top)
+        .task("left", left)
+        .task("right", right)
+        .task("bottom", bottom)
+        .edge("top", "left")
+        .edge("top", "right")
+        .edge("left", "bottom")
+        .edge("right", "bottom")
+    )
+    if e2e_deadline is not None:
+        b.e2e("top", "bottom", e2e_deadline)
+    return b.build()
+
+
+def layered_graph(
+    layer_wcets: Sequence[Sequence[Time]],
+    *,
+    e2e_deadline: Time | None = None,
+    default_class: str = "default",
+) -> TaskGraph:
+    """Fully-connected consecutive layers (dense sequential-parallel DAG)."""
+    if not layer_wcets or any(not layer for layer in layer_wcets):
+        raise GraphError("layered_graph needs non-empty layers")
+    b = GraphBuilder(default_class)
+    ids: list[list[str]] = []
+    for li, layer in enumerate(layer_wcets):
+        ids.append([])
+        for ti, c in enumerate(layer):
+            tid = f"l{li}_{ti}"
+            b.task(tid, c)
+            ids[-1].append(tid)
+    for prev, cur in zip(ids, ids[1:]):
+        for p in prev:
+            for c in cur:
+                b.edge(p, c)
+    if e2e_deadline is not None:
+        for src in ids[0]:
+            for dst in ids[-1]:
+                b.e2e(src, dst, e2e_deadline)
+    return b.build()

@@ -1,0 +1,41 @@
+"""Graphviz DOT export for task graphs (debugging/visualization aid)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..types import Time
+from .taskgraph import TaskGraph
+
+__all__ = ["to_dot"]
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', '\\"') + '"'
+
+
+def to_dot(
+    graph: TaskGraph,
+    *,
+    windows: Mapping[str, tuple[Time, Time]] | None = None,
+    name: str = "taskgraph",
+) -> str:
+    """Render *graph* in Graphviz DOT syntax.
+
+    *windows*, when given, maps task id to its assigned ``(arrival,
+    absolute deadline)`` execution window, which is appended to node
+    labels — handy for eyeballing a slicing result.
+    """
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for task in graph.tasks():
+        wcets = ",".join(f"{v:g}" for _, v in sorted(task.wcet.items()))
+        label = f"{task.id}\\nc=[{wcets}]"
+        if windows and task.id in windows:
+            a, d = windows[task.id]
+            label += f"\\nw=[{a:g},{d:g}]"
+        lines.append(f"  {_quote(task.id)} [label={_quote(label)}];")
+    for src, dst, size in graph.edges():
+        attrs = f' [label="{size:g}"]' if size else ""
+        lines.append(f"  {_quote(src)} -> {_quote(dst)}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)

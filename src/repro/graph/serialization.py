@@ -1,0 +1,119 @@
+"""JSON (de)serialization of task graphs.
+
+The on-disk format is a plain dict with a ``format`` marker so future
+revisions can stay backward compatible::
+
+    {
+      "format": "repro.taskgraph/1",
+      "tasks": [{"id": ..., "wcet": {...}, "phasing": ..., ...}, ...],
+      "edges": [{"src": ..., "dst": ..., "message_size": ...}, ...],
+      "e2e_deadlines": [{"src": ..., "dst": ..., "deadline": ...}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import SerializationError
+from .task import Task
+from .taskgraph import TaskGraph
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "FORMAT",
+]
+
+FORMAT = "repro.taskgraph/1"
+
+
+def graph_to_dict(graph: TaskGraph) -> dict[str, Any]:
+    """Convert *graph* to a JSON-serializable dict."""
+    tasks = []
+    for task in graph.tasks():
+        entry: dict[str, Any] = {
+            "id": task.id,
+            "wcet": {str(k): v for k, v in task.wcet.items()},
+            "phasing": task.phasing,
+        }
+        if task.relative_deadline is not None:
+            entry["relative_deadline"] = task.relative_deadline
+        if task.period is not None:
+            entry["period"] = task.period
+        if task.label:
+            entry["label"] = task.label
+        if task.resources:
+            entry["resources"] = sorted(task.resources)
+        tasks.append(entry)
+    return {
+        "format": FORMAT,
+        "tasks": tasks,
+        "edges": [
+            {"src": s, "dst": d, "message_size": m} for s, d, m in graph.edges()
+        ],
+        "e2e_deadlines": [
+            {"src": s, "dst": d, "deadline": dl}
+            for (s, d), dl in sorted(graph.e2e_deadlines().items())
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> TaskGraph:
+    """Reconstruct a :class:`TaskGraph` from :func:`graph_to_dict` output."""
+    if not isinstance(data, dict):
+        raise SerializationError("task graph document must be a dict")
+    fmt = data.get("format")
+    if fmt != FORMAT:
+        raise SerializationError(
+            f"unsupported task graph format {fmt!r} (expected {FORMAT!r})"
+        )
+    graph = TaskGraph()
+    try:
+        for entry in data["tasks"]:
+            graph.add_task(
+                Task(
+                    id=entry["id"],
+                    wcet={k: float(v) for k, v in entry["wcet"].items()},
+                    phasing=float(entry.get("phasing", 0.0)),
+                    relative_deadline=(
+                        float(entry["relative_deadline"])
+                        if "relative_deadline" in entry
+                        else None
+                    ),
+                    period=(
+                        float(entry["period"]) if "period" in entry else None
+                    ),
+                    label=entry.get("label", ""),
+                    resources=frozenset(entry.get("resources", ())),
+                )
+            )
+        for edge in data.get("edges", ()):
+            graph.add_edge(
+                edge["src"], edge["dst"], float(edge.get("message_size", 0.0))
+            )
+        for pair in data.get("e2e_deadlines", ()):
+            graph.set_e2e_deadline(
+                pair["src"], pair["dst"], float(pair["deadline"])
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed task graph document: {exc}") from exc
+    return graph
+
+
+def save_graph(graph: TaskGraph, path: str | Path) -> None:
+    """Write *graph* as JSON to *path*."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph), indent=2))
+
+
+def load_graph(path: str | Path) -> TaskGraph:
+    """Read a task graph from the JSON file at *path*."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return graph_from_dict(data)

@@ -1,0 +1,176 @@
+"""Task-graph transformations.
+
+Structure-preserving rewrites used for modelling and preprocessing:
+
+* :func:`contract_chains` — merge maximal linear chains (fan-in 1 /
+  fan-out 1 runs) into single tasks whose WCET vectors are the per-class
+  sums.  The classical linearization step: it shrinks the problem
+  without changing any path length or the set of inter-chain orderings,
+  so deadline distribution over the contracted graph is a coarser but
+  consistent version of the original.
+* :func:`scale_wcets` — multiply every WCET by a factor (what-if
+  analysis: faster silicon, pessimism margins).
+* :func:`relabel` — rename tasks via a mapping (namespacing for graph
+  composition).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..errors import GraphError
+from ..types import ProcessorClassId
+from .task import Task
+from .taskgraph import TaskGraph
+
+__all__ = ["contract_chains", "scale_wcets", "relabel"]
+
+
+def contract_chains(
+    graph: TaskGraph, *, joiner: str = "+"
+) -> tuple[TaskGraph, dict[str, str]]:
+    """Contract maximal linear chains into single tasks.
+
+    A task is chain-interior when it has exactly one predecessor and
+    that predecessor has exactly one successor; runs of such tasks are
+    merged front to back.  Two tasks merge only when their eligible
+    class sets coincide (a merged task must run somewhere every member
+    can run) and none carries a pre-assigned relative deadline or
+    period.  Message sizes interior to a chain disappear (intra-task);
+    boundary arcs keep theirs.  E-T-E deadlines transfer to the merged
+    endpoints.
+
+    Returns the contracted graph and a mapping
+    ``original id -> merged id``.
+    """
+    ids = graph.topological_order()
+    head_of: dict[str, str] = {}
+    chains: dict[str, list[str]] = {}
+
+    def mergeable(a: str, b: str) -> bool:
+        ta, tb = graph.task(a), graph.task(b)
+        if ta.eligible_classes() != tb.eligible_classes():
+            return False
+        for t in (ta, tb):
+            if t.relative_deadline is not None or t.period is not None:
+                return False
+        return True
+
+    for tid in ids:
+        preds = graph.predecessors(tid)
+        if (
+            len(preds) == 1
+            and graph.out_degree(preds[0]) == 1
+            and preds[0] in head_of
+            and mergeable(preds[0], tid)
+        ):
+            head = head_of[preds[0]]
+            chains[head].append(tid)
+            head_of[tid] = head
+        else:
+            head_of[tid] = tid
+            chains[tid] = [tid]
+
+    mapping = {tid: head for tid, head in head_of.items()}
+    out = TaskGraph()
+    for head, members in chains.items():
+        if len(members) == 1:
+            out.add_task(graph.task(head))
+            continue
+        classes = graph.task(head).eligible_classes()
+        wcet = {
+            ProcessorClassId(cls): sum(
+                graph.task(m).wcet_on(cls) for m in members
+            )
+            for cls in classes
+        }
+        resources = frozenset().union(
+            *(graph.task(m).resources for m in members)
+        )
+        merged_id = joiner.join(members)
+        out.add_task(
+            Task(
+                id=merged_id,
+                wcet=wcet,
+                phasing=graph.task(head).phasing,
+                resources=resources,
+                label=f"chain[{len(members)}]",
+            )
+        )
+        for m in members:
+            mapping[m] = merged_id
+    # The head-of map may still point at original head ids for merged
+    # chains; normalize to the merged ids.
+    for tid in ids:
+        mapping[tid] = mapping[head_of[tid]]
+
+    for src, dst, size in graph.edges():
+        a, b = mapping[src], mapping[dst]
+        if a == b:
+            continue  # interior to a chain
+        if not out.has_edge(a, b):
+            out.add_edge(a, b, size)
+        else:
+            # parallel arcs collapse; keep the larger message
+            out.set_message_size(a, b, max(out.message_size(a, b), size))
+    merged_pairs: dict[tuple[str, str], float] = {}
+    for (a1, a2), d in graph.e2e_deadlines().items():
+        key = (mapping[a1], mapping[a2])
+        # Pairs collapsing together keep the tightest deadline.
+        if key not in merged_pairs or d < merged_pairs[key]:
+            merged_pairs[key] = d
+    for (m1, m2), d in merged_pairs.items():
+        out.set_e2e_deadline(m1, m2, d)
+    return out, mapping
+
+
+def scale_wcets(graph: TaskGraph, factor: float) -> TaskGraph:
+    """Copy of *graph* with every WCET multiplied by *factor*."""
+    if factor <= 0.0:
+        raise GraphError("scale factor must be positive")
+    out = TaskGraph()
+    for t in graph.tasks():
+        out.add_task(
+            Task(
+                id=t.id,
+                wcet={cls: c * factor for cls, c in t.wcet.items()},
+                phasing=t.phasing,
+                relative_deadline=t.relative_deadline,
+                period=t.period,
+                label=t.label,
+                resources=t.resources,
+            )
+        )
+    for src, dst, size in graph.edges():
+        out.add_edge(src, dst, size)
+    for (a1, a2), d in graph.e2e_deadlines().items():
+        out.set_e2e_deadline(a1, a2, d)
+    return out
+
+
+def relabel(
+    graph: TaskGraph, rename: Mapping[str, str] | Callable[[str], str]
+) -> TaskGraph:
+    """Copy of *graph* with task ids renamed (must stay unique)."""
+    fn = rename if callable(rename) else lambda t: rename.get(t, t)  # type: ignore[union-attr]
+    new_ids = {tid: fn(tid) for tid in graph.task_ids()}
+    if len(set(new_ids.values())) != len(new_ids):
+        raise GraphError("renaming collapses distinct task ids")
+    out = TaskGraph()
+    for t in graph.tasks():
+        out.add_task(
+            Task(
+                id=new_ids[t.id],
+                wcet=t.wcet,
+                phasing=t.phasing,
+                relative_deadline=t.relative_deadline,
+                period=t.period,
+                label=t.label,
+                resources=t.resources,
+            )
+        )
+    for src, dst, size in graph.edges():
+        out.add_edge(new_ids[src], new_ids[dst], size)
+    for (a1, a2), d in graph.e2e_deadlines().items():
+        out.set_e2e_deadline(new_ids[a1], new_ids[a2], d)
+    return out

@@ -1,0 +1,102 @@
+"""Structural validation of task graphs against the model of §3.2/§4.1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+from .taskgraph import TaskGraph
+
+__all__ = ["ValidationReport", "validate_graph", "check_graph"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_graph`.
+
+    ``errors`` are violations of hard model invariants; ``warnings`` are
+    conditions that are legal but usually indicate a malformed workload
+    (e.g. an output task with no E-T-E deadline, which the slicing
+    algorithm cannot window).
+    """
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        if self.errors:
+            raise ValidationError("; ".join(self.errors))
+
+
+def validate_graph(graph: TaskGraph, *, require_e2e: bool = False) -> ValidationReport:
+    """Validate *graph* and return a :class:`ValidationReport`.
+
+    Checks: acyclicity, E-T-E pairs anchored at true input/output tasks
+    with reachability between endpoints, and (optionally) that every
+    output task is covered by at least one E-T-E deadline.
+    """
+    report = ValidationReport()
+    if graph.n_tasks == 0:
+        report.errors.append("task graph is empty")
+        return report
+    if not graph.is_acyclic():
+        report.errors.append("task graph contains a precedence cycle")
+        return report
+
+    from .algorithms import TransitiveClosure
+
+    closure = TransitiveClosure(graph)
+    inputs = set(graph.input_tasks())
+    outputs = set(graph.output_tasks())
+
+    for (a1, a2), d in graph.e2e_deadlines().items():
+        if a1 not in inputs:
+            report.errors.append(
+                f"E-T-E pair ({a1!r}, {a2!r}): {a1!r} is not an input task"
+            )
+        if a2 not in outputs:
+            report.errors.append(
+                f"E-T-E pair ({a1!r}, {a2!r}): {a2!r} is not an output task"
+            )
+        if a1 != a2 and not closure.reachable(a1, a2):
+            report.warnings.append(
+                f"E-T-E pair ({a1!r}, {a2!r}): no path connects the pair"
+            )
+        min_work = _min_path_work(graph, a1, a2)
+        if min_work is not None and d < min_work:
+            report.warnings.append(
+                f"E-T-E pair ({a1!r}, {a2!r}): deadline {d:g} is below the "
+                f"minimum possible path execution time {min_work:g}"
+            )
+
+    if require_e2e:
+        covered = {a2 for (a1, a2) in graph.e2e_deadlines()}
+        for out in sorted(outputs - covered):
+            report.warnings.append(
+                f"output task {out!r} is not covered by any E-T-E deadline"
+            )
+    return report
+
+
+def check_graph(graph: TaskGraph) -> None:
+    """Validate *graph*, raising :class:`ValidationError` on hard errors."""
+    validate_graph(graph).raise_if_invalid()
+
+
+def _min_path_work(graph: TaskGraph, src: str, dst: str) -> float | None:
+    """Smallest sum of minimum WCETs over any src→dst path (DP)."""
+    INF = float("inf")
+    dist: dict[str, float] = {tid: INF for tid in graph.task_ids()}
+    dist[src] = graph.task(src).min_wcet()
+    for tid in graph.topological_order():
+        if dist[tid] == INF:
+            continue
+        for s in graph.successors(tid):
+            cand = dist[tid] + graph.task(s).min_wcet()
+            if cand < dist[s]:
+                dist[s] = cand
+    return None if dist[dst] == INF else dist[dst]

@@ -1,0 +1,5 @@
+"""On-line admission of dynamically arriving applications (§7.2, [13])."""
+
+from .admission import AdmissionController, AdmissionDecision
+
+__all__ = ["AdmissionController", "AdmissionDecision"]

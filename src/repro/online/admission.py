@@ -1,0 +1,240 @@
+"""On-line admission of dynamically arriving applications (cf. [13], §7.2).
+
+The paper notes (§7.2) that for systems with on-line scheduling —
+"tasks typically arrive dynamically" — the distribution algorithm's
+complexity matters, and implication I1 highlights that slicing enables
+scheduling work to proceed independently per processor.  This module
+provides the corresponding run-time substrate: an admission controller
+that receives whole applications (task graphs with an end-to-end
+deadline) at arbitrary instants and decides, per application, whether
+it can be admitted alongside everything already committed.
+
+Admission pipeline for an application arriving at time ``t``:
+
+1. shift the application's phasings by ``t`` and attach its E-T-E
+   deadline (``t + relative_deadline`` for every input–output pair);
+2. run the slicing distribution (any metric; ADAPT-G's ``O(n²)`` or
+   ADAPT-L's ``O(n³)`` — the §7.2 trade-off);
+3. run the analytical infeasibility screens (fast reject);
+4. schedule the application with the EDF list scheduler against the
+   *residual capacity* — processors stay committed to previously
+   admitted work (non-preemptive commitments are never revoked);
+5. admit iff every task meets its window; rejected applications leave
+   no trace.
+
+The controller never migrates or reorders admitted work: admission is
+monotone and every accepted schedule remains exactly as promised —
+the hard-real-time contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.bounds import find_infeasibility
+from ..core.assignment import DeadlineAssignment
+from ..core.metrics import AdaptiveParams
+from ..core.slicing import distribute_deadlines
+from ..errors import SchedulingError
+from ..graph.task import Task
+from ..graph.taskgraph import TaskGraph
+from ..graph.transform import relabel
+from ..sched.edf import EdfListScheduler
+from ..sched.schedule import Schedule
+from ..system.platform import Platform
+from ..types import Time
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission attempt."""
+
+    admitted: bool
+    app_id: str
+    arrival: Time
+    reason: str = ""
+    response_time: Time = float("nan")
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.admitted
+
+
+@dataclass
+class _Committed:
+    schedule: Schedule
+    assignment: DeadlineAssignment
+
+
+class AdmissionController:
+    """Admit task-graph applications against residual machine capacity.
+
+    Parameters
+    ----------
+    platform:
+        The machine; its communication model prices inter-processor
+        messages of admitted applications.
+    metric / estimator / params:
+        Deadline-distribution configuration used for every application.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        metric: str = "ADAPT-G",
+        estimator: str = "WCET-AVG",
+        params: AdaptiveParams | None = None,
+    ) -> None:
+        self.platform = platform
+        self.metric = metric
+        self.estimator = estimator
+        self.params = params
+        self._committed: dict[str, _Committed] = {}
+        self._proc_free: dict[str, Time] = {
+            p.id: 0.0 for p in platform.processors()
+        }
+        self._clock: Time = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Time:
+        """Latest arrival instant seen (admissions must be in order)."""
+        return self._clock
+
+    def admitted_ids(self) -> list[str]:
+        return list(self._committed)
+
+    def schedule_of(self, app_id: str) -> Schedule:
+        try:
+            return self._committed[app_id].schedule
+        except KeyError:
+            raise SchedulingError(f"application {app_id!r} not admitted") from None
+
+    def combined_schedule(self) -> Schedule:
+        """All admitted work as one schedule (task ids are namespaced)."""
+        out = Schedule(scheduler_name="ADMISSION")
+        for committed in self._committed.values():
+            out.entries.update(committed.schedule.entries)
+        out.feasible = True
+        return out
+
+    def utilization_horizon(self) -> Time:
+        """Latest committed finish time over all processors."""
+        return max(self._proc_free.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        app_id: str,
+        graph: TaskGraph,
+        *,
+        arrival: Time,
+        relative_deadline: Time,
+    ) -> AdmissionDecision:
+        """Attempt to admit *graph* arriving at *arrival*.
+
+        ``relative_deadline`` is the application's end-to-end deadline
+        measured from the arrival instant.  Returns the decision; when
+        admitted, the application's placements become permanent
+        commitments.
+        """
+        if app_id in self._committed:
+            raise SchedulingError(f"duplicate application id {app_id!r}")
+        if arrival < self._clock:
+            raise SchedulingError(
+                f"application {app_id!r} arrives at {arrival:g}, before "
+                f"the controller clock {self._clock:g}"
+            )
+        if relative_deadline <= 0.0:
+            raise SchedulingError("relative deadline must be positive")
+        self._clock = arrival
+
+        # 1. Namespace and shift the application onto the global timeline.
+        app = relabel(graph, lambda t: f"{app_id}.{t}")
+        shifted = TaskGraph()
+        for t in app.tasks():
+            shifted.add_task(
+                Task(
+                    id=t.id,
+                    wcet=t.wcet,
+                    phasing=t.phasing + arrival,
+                    resources=t.resources,
+                    label=t.label,
+                )
+            )
+        for src, dst, size in app.edges():
+            shifted.add_edge(src, dst, size)
+        deadline_abs = arrival + relative_deadline
+        for src in shifted.input_tasks():
+            for dst in shifted.output_tasks():
+                shifted.set_e2e_deadline(
+                    src, dst, deadline_abs - shifted.task(src).phasing
+                )
+
+        # 2. Distribute the deadline.
+        assignment = distribute_deadlines(
+            shifted,
+            self.platform,
+            self.metric,
+            estimator=self.estimator,
+            params=self.params,
+            validate=False,
+        )
+        if assignment.degenerate:
+            return AdmissionDecision(
+                False, app_id, arrival, reason="degenerate distribution"
+            )
+
+        # 3. Fast analytical reject (platform-level necessary conditions).
+        witness = find_infeasibility(shifted, self.platform, assignment)
+        if witness is not None:
+            return AdmissionDecision(
+                False, app_id, arrival, reason=str(witness)
+            )
+
+        # 4. Schedule against residual capacity: model prior commitments
+        # as pseudo-tasks occupying each processor until its free time.
+        trial = self._schedule_residual(shifted, assignment)
+        if not trial.feasible:
+            return AdmissionDecision(
+                False, app_id, arrival, reason=trial.failure_reason
+            )
+
+        # 5. Commit.
+        self._committed[app_id] = _Committed(trial, assignment)
+        for entry in trial:
+            if entry.finish > self._proc_free[entry.processor]:
+                self._proc_free[entry.processor] = entry.finish
+        return AdmissionDecision(
+            True,
+            app_id,
+            arrival,
+            response_time=trial.makespan - arrival,
+        )
+
+    # ------------------------------------------------------------------
+    def _schedule_residual(
+        self, graph: TaskGraph, assignment: DeadlineAssignment
+    ) -> Schedule:
+        """EDF-schedule *graph* with processors busy until their free times."""
+        scheduler = _ResidualEdf(dict(self._proc_free))
+        return scheduler.schedule(graph, self.platform, assignment)
+
+
+class _ResidualEdf(EdfListScheduler):
+    """EDF list scheduler warm-started with per-processor busy times."""
+
+    name = "EDF-RESIDUAL"
+
+    def __init__(self, busy_until: dict[str, Time]) -> None:
+        super().__init__(continue_on_miss=False)
+        self._busy_until = busy_until
+
+    def _initial_proc_free(self, platform: Platform) -> dict[str, Time]:
+        free = super()._initial_proc_free(platform)
+        for proc_id, busy in self._busy_until.items():
+            if free.get(proc_id, 0.0) < busy:
+                free[proc_id] = busy
+        return free

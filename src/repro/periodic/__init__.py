@@ -1,0 +1,33 @@
+"""Periodic task-system machinery (§3.3) and jitter analysis (§1, I2)."""
+
+from .analysis import (
+    per_rate_breakdown,
+    task_set_utilization,
+    utilization_bound_satisfied,
+)
+from .jitter import JitterReport, precedence_release_bounds, start_jitter
+from .planning import (
+    Invocation,
+    PlanningCycle,
+    expand_multirate_graph,
+    expand_periodic_graph,
+    hyperperiod,
+    invocations_within,
+    planning_cycle,
+)
+
+__all__ = [
+    "hyperperiod",
+    "planning_cycle",
+    "PlanningCycle",
+    "Invocation",
+    "invocations_within",
+    "expand_periodic_graph",
+    "expand_multirate_graph",
+    "JitterReport",
+    "start_jitter",
+    "precedence_release_bounds",
+    "task_set_utilization",
+    "utilization_bound_satisfied",
+    "per_rate_breakdown",
+]

@@ -1,0 +1,85 @@
+"""Utilization analysis for periodic task sets (§3.3 substrate).
+
+Quick capacity arithmetic for periodic workloads, preceding any
+scheduling attempt:
+
+* :func:`task_set_utilization` — ``U = Σ c̄_i / T_i`` (with ``c̄``
+  the estimation-strategy summary of the WCET vector);
+* :func:`utilization_bound_satisfied` — the necessary condition
+  ``U ≤ m``: no platform of ``m`` processors can sustain a periodic
+  set whose long-run demand rate exceeds its capacity, regardless of
+  scheduler (preemptive or not);
+* :func:`per_rate_breakdown` — demand per distinct period, the view a
+  rate-monotonic-style design review starts from.
+"""
+
+from __future__ import annotations
+
+from ..core.estimation import WCET_AVG, WcetEstimator, get_estimator
+from ..errors import ValidationError
+from ..graph.taskgraph import TaskGraph
+from ..system.platform import Platform
+
+__all__ = [
+    "task_set_utilization",
+    "utilization_bound_satisfied",
+    "per_rate_breakdown",
+]
+
+
+def task_set_utilization(
+    graph: TaskGraph,
+    *,
+    estimator: WcetEstimator | str = WCET_AVG,
+    platform: Platform | None = None,
+) -> float:
+    """Long-run processor demand ``U = Σ c̄_i / T_i`` of a periodic set."""
+    est = get_estimator(estimator)
+    total = 0.0
+    for task in graph.tasks():
+        if task.period is None:
+            raise ValidationError(
+                f"task {task.id!r} is aperiodic; utilization is defined "
+                "for periodic task sets"
+            )
+        total += est.estimate(task, platform) / task.period
+    return total
+
+
+def utilization_bound_satisfied(
+    graph: TaskGraph,
+    platform: Platform,
+    *,
+    estimator: WcetEstimator | str = WCET_AVG,
+) -> bool:
+    """The necessary condition ``U <= m`` (capacity, any scheduler).
+
+    Uses the *optimistic* per-task summary (WCET-MIN would be the
+    loosest necessary test; the default WCET-AVG is the paper's working
+    estimate).  A ``False`` here means the periodic set overloads the
+    machine in the long run; ``True`` guarantees nothing.
+    """
+    return task_set_utilization(
+        graph, estimator=estimator, platform=platform
+    ) <= platform.m + 1e-9
+
+
+def per_rate_breakdown(
+    graph: TaskGraph,
+    *,
+    estimator: WcetEstimator | str = WCET_AVG,
+    platform: Platform | None = None,
+) -> dict[float, float]:
+    """Utilization contributed by each distinct period (rate group)."""
+    est = get_estimator(estimator)
+    out: dict[float, float] = {}
+    for task in graph.tasks():
+        if task.period is None:
+            raise ValidationError(
+                f"task {task.id!r} is aperiodic; rate breakdown is "
+                "defined for periodic task sets"
+            )
+        out[task.period] = out.get(task.period, 0.0) + (
+            est.estimate(task, platform) / task.period
+        )
+    return dict(sorted(out.items()))

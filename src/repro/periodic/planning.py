@@ -1,0 +1,263 @@
+"""Planning-cycle (hyperperiod) analysis for periodic task systems (§3.3).
+
+A periodic task system repeats; scheduling only needs to cover one
+*planning cycle*:
+
+* identical arrival times: ``P = [0, L)`` with ``L = lcm{T_i}``;
+* arbitrary arrival times: ``P = [0, a + 2L)`` with
+  ``a = max_i a_i`` (after normalizing ``min_i a_i = 0``).
+
+Periods are handled as exact rationals (:class:`fractions.Fraction`), so
+non-integer periods such as 2.5 still yield an exact LCM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, Sequence
+
+from ..errors import ValidationError
+from ..graph.task import Task
+from ..graph.taskgraph import TaskGraph
+from ..types import Time
+
+__all__ = [
+    "hyperperiod",
+    "planning_cycle",
+    "PlanningCycle",
+    "Invocation",
+    "invocations_within",
+    "expand_periodic_graph",
+    "expand_multirate_graph",
+]
+
+
+def _to_fraction(value: float) -> Fraction:
+    """Exact rational for a period value (tolerant of float literals)."""
+    frac = Fraction(value).limit_denominator(10**9)
+    if frac <= 0:
+        raise ValidationError(f"period {value!r} must be positive")
+    return frac
+
+
+def _lcm_fractions(values: Iterable[Fraction]) -> Fraction:
+    """LCM of rationals: lcm(numerators) / gcd(denominators)."""
+    nums: list[int] = []
+    dens: list[int] = []
+    for v in values:
+        nums.append(v.numerator)
+        dens.append(v.denominator)
+    if not nums:
+        raise ValidationError("hyperperiod of an empty period set is undefined")
+    num = nums[0]
+    for n in nums[1:]:
+        num = num * n // gcd(num, n)
+    den = dens[0]
+    for d in dens[1:]:
+        den = gcd(den, d)
+    return Fraction(num, den)
+
+
+def hyperperiod(periods: Sequence[Time]) -> Time:
+    """``L = lcm{T_i}`` for the given (positive, rational) periods."""
+    return float(_lcm_fractions(_to_fraction(p) for p in periods))
+
+
+@dataclass(frozen=True)
+class PlanningCycle:
+    """The interval ``[0, length)`` whose schedule repeats forever."""
+
+    length: Time
+    hyperperiod: Time
+    max_arrival: Time
+
+    @property
+    def interval(self) -> tuple[Time, Time]:
+        return (0.0, self.length)
+
+
+def planning_cycle(tasks: Iterable[Task]) -> PlanningCycle:
+    """Planning cycle of a periodic task set (§3.3).
+
+    All tasks must be periodic.  Arrival times (phasings) are assumed
+    normalized so the earliest is zero; callers with a nonzero origin
+    should shift phasings first.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        raise ValidationError("planning cycle of an empty task set is undefined")
+    periods = []
+    arrivals = []
+    for t in tasks:
+        if t.period is None:
+            raise ValidationError(
+                f"task {t.id!r} is aperiodic; the planning cycle is "
+                "defined for periodic task sets"
+            )
+        periods.append(t.period)
+        arrivals.append(t.phasing)
+    lo = min(arrivals)
+    if lo > 0.0:
+        raise ValidationError(
+            "phasings must be normalized so that min(a_i) == 0 "
+            f"(got minimum {lo:g})"
+        )
+    L = hyperperiod(periods)
+    a = max(arrivals)
+    length = L if a == 0.0 else a + 2.0 * L
+    return PlanningCycle(length=length, hyperperiod=L, max_arrival=a)
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """The ``k``-th instance of a periodic task within the planning cycle."""
+
+    task_id: str
+    k: int
+    arrival: Time
+    absolute_deadline: Time | None
+
+    @property
+    def uid(self) -> str:
+        """Unique id of this instance, ``<task>#<k>``."""
+        return f"{self.task_id}#{self.k}"
+
+
+def invocations_within(task: Task, horizon: Time) -> list[Invocation]:
+    """All invocations of *task* arriving in ``[0, horizon)``.
+
+    ``a_i^k = phi_i + T_i (k−1)``; deadlines are ``a_i^k + d_i`` when
+    the task has a relative deadline, else ``None``.
+    """
+    if horizon <= 0.0:
+        return []
+    out: list[Invocation] = []
+    k = 1
+    while True:
+        a = task.arrival_of(k)
+        if a >= horizon:
+            break
+        d = (
+            a + task.relative_deadline
+            if task.relative_deadline is not None
+            else None
+        )
+        out.append(Invocation(task.id, k, a, d))
+        if task.period is None:
+            break
+        k += 1
+    return out
+
+
+def expand_periodic_graph(graph: TaskGraph, horizon: Time) -> TaskGraph:
+    """Unroll a single-rate periodic task graph over ``[0, horizon)``.
+
+    Every task must share one common period (a *single-rate* system, the
+    standard model for precedence-constrained periodic applications —
+    precedence between different invocation indices is not defined).
+    Invocation ``k`` of the whole graph is a copy whose tasks are named
+    ``<task>#<k>``, with phasing shifted by ``(k−1)·T`` and all arcs and
+    E-T-E pair deadlines replicated.  The copies form one aperiodic
+    graph that the slicing + EDF pipeline can process directly.
+    """
+    tasks = list(graph.tasks())
+    if not tasks:
+        raise ValidationError("cannot expand an empty task graph")
+    periods = {t.period for t in tasks}
+    if len(periods) != 1 or None in periods:
+        raise ValidationError(
+            "expand_periodic_graph requires a single-rate system "
+            f"(found periods {sorted(str(p) for p in periods)})"
+        )
+    period = tasks[0].period
+    assert period is not None
+
+    out = TaskGraph()
+    k = 1
+    while graph.task(tasks[0].id).phasing + period * (k - 1) < horizon:
+        shift = period * (k - 1)
+        for t in tasks:
+            out.add_task(
+                Task(
+                    id=f"{t.id}#{k}",
+                    wcet=t.wcet,
+                    phasing=t.phasing + shift,
+                    relative_deadline=t.relative_deadline,
+                    period=None,
+                    label=t.label,
+                    resources=t.resources,
+                )
+            )
+        for src, dst, size in graph.edges():
+            out.add_edge(f"{src}#{k}", f"{dst}#{k}", size)
+        for (a1, a2), d in graph.e2e_deadlines().items():
+            out.set_e2e_deadline(f"{a1}#{k}", f"{a2}#{k}", d)
+        k += 1
+    return out
+
+
+def expand_multirate_graph(
+    graph: TaskGraph, horizon: Time | None = None
+) -> TaskGraph:
+    """Unroll a multi-rate periodic task set over ``[0, horizon)``.
+
+    Generalizes :func:`expand_periodic_graph` to task sets whose
+    *connected components* each run at a single rate (precedence arcs
+    between tasks of different periods have no standard invocation
+    semantics and are rejected).  Components unroll independently:
+    component ``C`` with period ``T_C`` contributes ``horizon / T_C``
+    copies.  *horizon* defaults to the task set's hyperperiod, giving
+    one full planning cycle for identical arrival times.
+    """
+    tasks = list(graph.tasks())
+    if not tasks:
+        raise ValidationError("cannot expand an empty task graph")
+    for t in tasks:
+        if t.period is None:
+            raise ValidationError(
+                f"task {t.id!r} is aperiodic; multi-rate expansion needs "
+                "periods on every task"
+            )
+    for src, dst, _ in graph.edges():
+        if graph.task(src).period != graph.task(dst).period:
+            raise ValidationError(
+                f"arc ({src!r}, {dst!r}) connects tasks with different "
+                "periods; cross-rate precedence is not defined"
+            )
+
+    if horizon is None:
+        horizon = hyperperiod([t.period for t in tasks])
+
+    # Partition into weakly connected components.
+    component: dict[str, int] = {}
+    next_id = 0
+    for tid in graph.task_ids():
+        if tid in component:
+            continue
+        stack = [tid]
+        component[tid] = next_id
+        while stack:
+            node = stack.pop()
+            for nbr in graph.successors(node) + graph.predecessors(node):
+                if nbr not in component:
+                    component[nbr] = next_id
+                    stack.append(nbr)
+        next_id += 1
+
+    members: dict[int, list[str]] = {}
+    for tid, comp in component.items():
+        members.setdefault(comp, []).append(tid)
+
+    out = TaskGraph()
+    for comp_ids in members.values():
+        sub = graph.subgraph(comp_ids)
+        expanded = expand_periodic_graph(sub, horizon)
+        for t in expanded.tasks():
+            out.add_task(t)
+        for src, dst, size in expanded.edges():
+            out.add_edge(src, dst, size)
+        for (a1, a2), d in expanded.e2e_deadlines().items():
+            out.set_e2e_deadline(a1, a2, d)
+    return out

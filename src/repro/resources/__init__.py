@@ -1,0 +1,15 @@
+"""Shared-resource constraint extension (§7.3 future work)."""
+
+from .model import (
+    ResourceAwareAdaptL,
+    resource_parallel_sets,
+    resource_usage,
+    with_resources,
+)
+
+__all__ = [
+    "with_resources",
+    "resource_usage",
+    "resource_parallel_sets",
+    "ResourceAwareAdaptL",
+]

@@ -1,0 +1,142 @@
+"""General shared-resource constraints — the §7.3 future-work extension.
+
+The paper suggests applying the slicing technique "not only to
+computational resources such as processors but also to general resources
+including shared data structures".  This module provides:
+
+* helpers to declare mutually exclusive logical resources on tasks
+  (tasks carry a ``resources`` frozenset; the EDF scheduler serializes
+  tasks sharing a resource, and the schedule validator checks it);
+* :func:`resource_parallel_sets` — a resource-aware refinement of the
+  ADAPT-L parallel set: tasks that cannot overlap *because they share a
+  resource* are removed from each other's parallel sets, since they
+  contend for the resource rather than for a processor slot in the
+  ADAPT-L sense, and additionally counted as serialized demand;
+* :class:`ResourceAwareAdaptL` — ADAPT-L with parallel sets computed on
+  the resource-constrained concurrency relation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.metrics import AdaptiveParams, MetricState, _EqualShareMetric
+from ..errors import ValidationError
+from ..graph.algorithms import TransitiveClosure
+from ..graph.task import Task
+from ..graph.taskgraph import TaskGraph
+from ..system.platform import Platform
+from ..types import Time
+
+__all__ = [
+    "with_resources",
+    "resource_usage",
+    "resource_parallel_sets",
+    "ResourceAwareAdaptL",
+]
+
+
+def with_resources(graph: TaskGraph, usage: Mapping[str, set[str]]) -> TaskGraph:
+    """Return a copy of *graph* whose tasks carry the given resources.
+
+    *usage* maps task id → set of resource names; unmentioned tasks
+    keep their existing resource sets.
+    """
+    out = graph.copy()
+    for tid, resources in usage.items():
+        task = out.task(tid)
+        out.replace_task(
+            Task(
+                id=task.id,
+                wcet=task.wcet,
+                phasing=task.phasing,
+                relative_deadline=task.relative_deadline,
+                period=task.period,
+                label=task.label,
+                resources=frozenset(resources),
+            )
+        )
+    return out
+
+
+def resource_usage(graph: TaskGraph) -> dict[str, list[str]]:
+    """Resource name → sorted list of tasks using it."""
+    out: dict[str, list[str]] = {}
+    for task in graph.tasks():
+        for res in task.resources:
+            out.setdefault(res, []).append(task.id)
+    for tasks in out.values():
+        tasks.sort()
+    return out
+
+
+def resource_parallel_sets(graph: TaskGraph) -> dict[str, int]:
+    """Effective contention of each task under resource exclusion.
+
+    Starts from the precedence-based parallel set ``Psi_i`` and treats
+    resource-sharing peers specially: a peer that shares a resource
+    with ``tau_i`` cannot overlap it, yet it *delays* ``tau_i`` exactly
+    like a same-processor competitor, so it still counts toward the
+    contention figure.  The returned size is therefore
+    ``|Psi_i|`` — tasks in ``Psi_i`` can either contend for processors
+    (no shared resource) or for the resource itself (shared), and both
+    groups cost laxity.  The refinement over plain ADAPT-L is that
+    resource peers are counted at *full* weight even on an infinite
+    machine, which :class:`ResourceAwareAdaptL` exploits by not
+    dividing their contribution by ``m``.
+    """
+    closure = TransitiveClosure(graph)
+    usage = resource_usage(graph)
+    sizes: dict[str, int] = {}
+    for task in graph.tasks():
+        psi = closure.parallel_set(task.id)
+        peers = set()
+        for res in task.resources:
+            peers.update(t for t in usage[res] if t != task.id)
+        # split: processor-contenders vs resource-serialized peers
+        serialized = psi & peers
+        sizes[task.id] = len(psi - serialized) + len(serialized)
+    return sizes
+
+
+class ResourceAwareAdaptL(_EqualShareMetric):
+    """ADAPT-L variant whose surplus accounts for resource serialization.
+
+    ``ĉ_i = c̄_i (1 + k_L |Psi_i \\ S_i| / m + k_L |S_i|)`` for tasks at
+    or above the threshold, where ``S_i`` are the parallel-set peers
+    sharing a resource with ``tau_i``: processor contention amortizes
+    over ``m`` processors, resource contention does not.
+    """
+
+    name = "ADAPT-L/R"
+
+    def __init__(self, params: AdaptiveParams | None = None) -> None:
+        self.params = params or AdaptiveParams()
+
+    def prepare(
+        self,
+        graph: TaskGraph,
+        estimates: Mapping[str, Time],
+        platform: Platform,
+    ) -> MetricState:
+        if platform.m < 1:
+            raise ValidationError("platform must have at least one processor")
+        closure = TransitiveClosure(graph)
+        usage = resource_usage(graph)
+        c_thres = self.params.threshold(estimates)
+        k_l = self.params.k_l
+        m = platform.m
+        weights: dict[str, Time] = {}
+        for task in graph.tasks():
+            c = estimates[task.id]
+            if c < c_thres:
+                weights[task.id] = c
+                continue
+            psi = closure.parallel_set(task.id)
+            peers: set[str] = set()
+            for res in task.resources:
+                peers.update(t for t in usage[res] if t != task.id)
+            serialized = psi & peers
+            surplus = k_l * (len(psi - serialized) / m + len(serialized))
+            weights[task.id] = c * (1.0 + surplus)
+        return MetricState(self.name, weights)

@@ -1,0 +1,72 @@
+"""Deterministic random-number plumbing.
+
+All randomness in the library flows through :class:`numpy.random.Generator`
+instances derived from explicit integer seeds.  Experiments spawn one
+independent child stream per trial via :func:`trial_rng`, so a trial's
+outcome depends only on ``(experiment_seed, trial_index)`` — never on how
+many worker processes executed it or in what order (a requirement for the
+multiprocessing fan-out in :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "make_rng",
+    "trial_rng",
+    "spawn_rngs",
+    "derive_seed",
+]
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` from an explicit seed.
+
+    ``None`` yields an OS-entropy-seeded generator; library code other
+    than interactive helpers should always pass an integer.
+    """
+    return np.random.default_rng(seed)
+
+
+def derive_seed(root_seed: int, *indices: int) -> int:
+    """Derive a stable 63-bit child seed from a root seed and index path.
+
+    Uses :class:`numpy.random.SeedSequence` so children are statistically
+    independent of each other and of the root stream.
+    """
+    ss = np.random.SeedSequence(entropy=root_seed, spawn_key=tuple(indices))
+    return int(ss.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+def trial_rng(root_seed: int, trial_index: int) -> np.random.Generator:
+    """Generator for one experiment trial, independent across trials."""
+    ss = np.random.SeedSequence(entropy=root_seed, spawn_key=(trial_index,))
+    return np.random.default_rng(ss)
+
+
+def spawn_rngs(root_seed: int, count: int) -> list[np.random.Generator]:
+    """Spawn *count* independent generators from one root seed."""
+    return [trial_rng(root_seed, i) for i in range(count)]
+
+
+def iter_trial_seeds(root_seed: int, count: int) -> Iterator[int]:
+    """Yield the derived per-trial seeds for ``range(count)``."""
+    for i in range(count):
+        yield derive_seed(root_seed, i)
+
+
+def choice_index(rng: np.random.Generator, weights: Sequence[float]) -> int:
+    """Sample an index proportionally to non-negative *weights*."""
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError("weights must have a positive sum")
+    r = rng.uniform(0.0, total)
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if r <= acc:
+            return i
+    return len(weights) - 1

@@ -1,0 +1,69 @@
+"""Task assignment and scheduling (§3.3, §5.4).
+
+* :class:`EdfListScheduler` / :func:`schedule_edf` — the paper's
+  baseline deadline-driven non-preemptive list scheduler.
+* :class:`Schedule` — placements + quality measures (§4.2).
+* :func:`validate_schedule` — independent constraint checker (oracle).
+* :func:`render_gantt` — ASCII visualization.
+* :class:`PreemptiveEdfScheduler` — §7.3 future-work extension.
+"""
+
+from .annealing import SimulatedAnnealingScheduler, schedule_annealed
+from .branchbound import (
+    BnbResult,
+    BnbStatus,
+    BranchAndBoundScheduler,
+    schedule_branch_and_bound,
+)
+from .dispatch import (
+    DispatchEntry,
+    DispatchTable,
+    build_dispatch_tables,
+    idle_gaps,
+    total_idle,
+)
+from .edf import EdfListScheduler, schedule_edf
+from .gantt import render_gantt
+from .listsched import (
+    SCHEDULER_NAMES,
+    FifoScheduler,
+    LaxityScheduler,
+    StaticLevelScheduler,
+    get_scheduler,
+)
+from .preemptive import PreemptiveEdfScheduler, schedule_preemptive_edf
+from .schedule import Schedule, ScheduledTask
+from .trace import TraceEvent, iter_events, load_trace_csv, save_trace_csv
+from .validate import assert_valid_schedule, validate_schedule
+
+__all__ = [
+    "EdfListScheduler",
+    "schedule_edf",
+    "StaticLevelScheduler",
+    "FifoScheduler",
+    "LaxityScheduler",
+    "get_scheduler",
+    "SCHEDULER_NAMES",
+    "PreemptiveEdfScheduler",
+    "schedule_preemptive_edf",
+    "BranchAndBoundScheduler",
+    "schedule_branch_and_bound",
+    "BnbResult",
+    "BnbStatus",
+    "SimulatedAnnealingScheduler",
+    "schedule_annealed",
+    "Schedule",
+    "ScheduledTask",
+    "validate_schedule",
+    "assert_valid_schedule",
+    "render_gantt",
+    "save_trace_csv",
+    "load_trace_csv",
+    "TraceEvent",
+    "iter_events",
+    "DispatchEntry",
+    "DispatchTable",
+    "build_dispatch_tables",
+    "idle_gaps",
+    "total_idle",
+]

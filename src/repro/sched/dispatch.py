@@ -1,0 +1,161 @@
+"""Time-driven dispatch tables — the run-time model of §3.3.
+
+The paper assumes a *time-driven, non-preemptive* dispatching strategy:
+at run time each processor executes a pre-computed table of (start
+instant, task) entries, repeating every planning cycle.  This module
+turns a validated :class:`~repro.sched.schedule.Schedule` into that
+artifact:
+
+* :class:`DispatchTable` — one processor's cyclic program, with lookup
+  (:meth:`running_at`), idle-gap enumeration and utilization;
+* :func:`build_dispatch_tables` — tables for a whole platform, checked
+  against the cycle length (entries must fit inside one cycle, since a
+  table repeats verbatim);
+* :func:`idle_gaps` / :func:`total_idle` — the residual capacity
+  profile, the quantity an admission controller trades in.
+
+Tables serialize to a plain dict (`to_dict`) so they can be shipped to
+a target system or diffed between builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SchedulingError
+from ..system.platform import Platform
+from ..types import Time
+from .schedule import Schedule
+
+__all__ = [
+    "DispatchEntry",
+    "DispatchTable",
+    "build_dispatch_tables",
+    "idle_gaps",
+    "total_idle",
+]
+
+
+@dataclass(frozen=True)
+class DispatchEntry:
+    """One table row: run *task_id* over ``[start, finish)``."""
+
+    start: Time
+    finish: Time
+    task_id: str
+
+    @property
+    def duration(self) -> Time:
+        return self.finish - self.start
+
+
+@dataclass
+class DispatchTable:
+    """A processor's cyclic time-driven program."""
+
+    processor: str
+    cycle_length: Time
+    entries: list[DispatchEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cycle_length <= 0.0:
+            raise SchedulingError("cycle length must be positive")
+        self.entries.sort(key=lambda e: e.start)
+        prev_finish = 0.0
+        for e in self.entries:
+            if e.start < -1e-9 or e.finish > self.cycle_length + 1e-9:
+                raise SchedulingError(
+                    f"entry {e.task_id!r} [{e.start:g}, {e.finish:g}] "
+                    f"does not fit in the cycle [0, {self.cycle_length:g})"
+                )
+            if e.start < prev_finish - 1e-9:
+                raise SchedulingError(
+                    f"entry {e.task_id!r} overlaps its predecessor on "
+                    f"processor {self.processor!r}"
+                )
+            prev_finish = e.finish
+
+    # ------------------------------------------------------------------
+    def running_at(self, t: Time) -> str | None:
+        """Task executing at cyclic instant *t* (``None`` when idle)."""
+        phase = t % self.cycle_length
+        for e in self.entries:
+            if e.start - 1e-9 <= phase < e.finish - 1e-9:
+                return e.task_id
+        return None
+
+    def busy_time(self) -> Time:
+        """Total execution time per cycle."""
+        return sum(e.duration for e in self.entries)
+
+    def utilization(self) -> float:
+        """Busy fraction of the cycle."""
+        return self.busy_time() / self.cycle_length
+
+    def gaps(self) -> list[tuple[Time, Time]]:
+        """Idle intervals within one cycle, in order."""
+        out: list[tuple[Time, Time]] = []
+        cursor = 0.0
+        for e in self.entries:
+            if e.start > cursor + 1e-9:
+                out.append((cursor, e.start))
+            cursor = max(cursor, e.finish)
+        if cursor < self.cycle_length - 1e-9:
+            out.append((cursor, self.cycle_length))
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "processor": self.processor,
+            "cycle_length": self.cycle_length,
+            "entries": [
+                {"start": e.start, "finish": e.finish, "task": e.task_id}
+                for e in self.entries
+            ],
+        }
+
+
+def build_dispatch_tables(
+    schedule: Schedule,
+    platform: Platform,
+    *,
+    cycle_length: Time | None = None,
+) -> dict[str, DispatchTable]:
+    """Dispatch tables for every platform processor.
+
+    *cycle_length* defaults to the schedule's makespan rounded up to the
+    next integer time unit (§3.1).  Raises when some placement does not
+    fit inside the cycle — a table repeats verbatim each cycle, so an
+    overhanging entry would collide with the next cycle's start.
+    """
+    if cycle_length is None:
+        import math
+
+        cycle_length = float(max(1, math.ceil(schedule.makespan - 1e-9)))
+    tables: dict[str, DispatchTable] = {}
+    for proc in platform.processors():
+        entries = [
+            DispatchEntry(e.start, e.finish, e.task_id)
+            for e in schedule.tasks_on(proc.id)
+        ]
+        tables[proc.id] = DispatchTable(
+            processor=proc.id,
+            cycle_length=cycle_length,
+            entries=entries,
+        )
+    return tables
+
+
+def idle_gaps(
+    tables: dict[str, DispatchTable]
+) -> dict[str, list[tuple[Time, Time]]]:
+    """Idle intervals per processor."""
+    return {proc: table.gaps() for proc, table in tables.items()}
+
+
+def total_idle(tables: dict[str, DispatchTable]) -> Time:
+    """Aggregate idle time per cycle across all processors."""
+    return sum(
+        table.cycle_length - table.busy_time() for table in tables.values()
+    )

@@ -1,0 +1,60 @@
+"""ASCII Gantt-chart rendering of schedules (debugging/examples aid)."""
+
+from __future__ import annotations
+
+from ..system.platform import Platform
+from .schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(
+    schedule: Schedule,
+    platform: Platform | None = None,
+    *,
+    width: int = 72,
+) -> str:
+    """Render *schedule* as a fixed-width ASCII Gantt chart.
+
+    One row per processor; each task is drawn as ``[id....]`` scaled to
+    the makespan.  Tasks too narrow for their label degrade to ``#``
+    marks.  Purely cosmetic — never used by algorithms or tests of
+    algorithmic behaviour.
+    """
+    if not schedule.entries:
+        return "(empty schedule)"
+    span = schedule.makespan
+    if span <= 0.0:
+        return "(zero-length schedule)"
+    procs = (
+        [p.id for p in platform.processors()]
+        if platform is not None
+        else sorted({e.processor for e in schedule})
+    )
+    scale = width / span
+    label_w = max(len(p) for p in procs) + 1
+
+    lines: list[str] = []
+    header = " " * label_w + "0" + " " * (width - len(f"{span:g}")) + f"{span:g}"
+    lines.append(header)
+    for proc in procs:
+        row = [" "] * (width + 1)
+        for entry in schedule.tasks_on(proc):
+            lo = int(round(entry.start * scale))
+            hi = max(lo + 1, int(round(entry.finish * scale)))
+            hi = min(hi, width + 1)
+            block = list("#" * (hi - lo))
+            label = entry.task_id
+            if len(block) >= len(label) + 2:
+                block = list("[" + label.ljust(len(block) - 2, ".") + "]")
+            for i, ch in enumerate(block):
+                if 0 <= lo + i <= width:
+                    row[lo + i] = ch
+        lines.append(proc.ljust(label_w) + "".join(row).rstrip())
+    status = "feasible" if schedule.feasible else (
+        f"INFEASIBLE ({schedule.failure_reason})"
+        if schedule.failure_reason
+        else "INFEASIBLE"
+    )
+    lines.append(f"makespan={span:g}  {status}")
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Multiprocessor schedule representation and quality measures (§3.3, §4.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from ..errors import SchedulingError
+from ..types import Time
+
+__all__ = ["ScheduledTask", "Schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task's placement: processor, start and finish times.
+
+    ``arrival`` and ``absolute_deadline`` are copied from the deadline
+    assignment that drove the scheduler, so lateness/laxity reporting
+    needs no cross-referencing.
+    """
+
+    task_id: str
+    processor: str
+    start: Time
+    finish: Time
+    arrival: Time
+    absolute_deadline: Time
+
+    @property
+    def execution_time(self) -> Time:
+        """Actual (worst-case) execution time on the chosen processor."""
+        return self.finish - self.start
+
+    @property
+    def lateness(self) -> Time:
+        """``L_i = f_i − D_i`` — non-positive iff the deadline is met."""
+        return self.finish - self.absolute_deadline
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.finish <= self.absolute_deadline + 1e-9
+
+
+@dataclass
+class Schedule:
+    """A (possibly partial) non-preemptive multiprocessor schedule.
+
+    ``feasible`` is ``True`` when every task was placed and every task
+    meets its absolute deadline — the event counted by the paper's
+    *success ratio*.  When the scheduler fails fast, ``failed_task``
+    and ``failure_reason`` describe the first miss.
+    """
+
+    entries: dict[str, ScheduledTask] = field(default_factory=dict)
+    feasible: bool = True
+    failed_task: str | None = None
+    failure_reason: str = ""
+    scheduler_name: str = "?"
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ScheduledTask]:
+        return iter(self.entries.values())
+
+    def entry(self, task_id: str) -> ScheduledTask:
+        try:
+            return self.entries[task_id]
+        except KeyError:
+            raise SchedulingError(f"task {task_id!r} is not scheduled") from None
+
+    def processor_of(self, task_id: str) -> str:
+        """Processor assignment ``p(tau_i)``."""
+        return self.entry(task_id).processor
+
+    def start_time(self, task_id: str) -> Time:
+        return self.entry(task_id).start
+
+    def finish_time(self, task_id: str) -> Time:
+        return self.entry(task_id).finish
+
+    # ------------------------------------------------------------------
+    # Quality measures (§4.2)
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> Time:
+        """Latest finish time over all scheduled tasks (0 when empty)."""
+        return max((e.finish for e in self.entries.values()), default=0.0)
+
+    def max_lateness(self) -> Time:
+        """``max_i L_i`` — "how far from infeasibility" the schedule is."""
+        if not self.entries:
+            raise SchedulingError("empty schedule has no lateness")
+        return max(e.lateness for e in self.entries.values())
+
+    def missed_tasks(self) -> list[str]:
+        """Tasks whose finish time exceeds their absolute deadline."""
+        return sorted(
+            tid for tid, e in self.entries.items() if not e.meets_deadline
+        )
+
+    def tasks_on(self, processor: str) -> list[ScheduledTask]:
+        """Entries placed on *processor*, ordered by start time."""
+        rows = [e for e in self.entries.values() if e.processor == processor]
+        rows.sort(key=lambda e: (e.start, e.task_id))
+        return rows
+
+    def processor_load(self) -> dict[str, Time]:
+        """Total busy time per processor (only processors that ran work)."""
+        load: dict[str, Time] = {}
+        for e in self.entries.values():
+            load[e.processor] = load.get(e.processor, 0.0) + e.execution_time
+        return load
+
+    def utilization(self, m: int | None = None) -> float:
+        """Average busy fraction of the makespan across processors.
+
+        *m* supplies the platform size; defaults to the number of
+        processors that appear in the schedule.
+        """
+        if not self.entries:
+            return 0.0
+        span = self.makespan
+        if span <= 0.0:
+            return 0.0
+        load = self.processor_load()
+        count = m if m is not None else len(load)
+        if count < 1:
+            raise SchedulingError("utilization needs at least one processor")
+        return sum(load.values()) / (span * count)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation."""
+        return {
+            "format": "repro.schedule/1",
+            "scheduler": self.scheduler_name,
+            "feasible": self.feasible,
+            "failed_task": self.failed_task,
+            "failure_reason": self.failure_reason,
+            "entries": [
+                {
+                    "task_id": e.task_id,
+                    "processor": e.processor,
+                    "start": e.start,
+                    "finish": e.finish,
+                    "arrival": e.arrival,
+                    "absolute_deadline": e.absolute_deadline,
+                }
+                for e in sorted(
+                    self.entries.values(), key=lambda e: (e.start, e.task_id)
+                )
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Schedule":
+        """Inverse of :meth:`to_dict`."""
+        sched = cls(
+            feasible=bool(data.get("feasible", True)),
+            failed_task=data.get("failed_task"),
+            failure_reason=data.get("failure_reason", ""),
+            scheduler_name=data.get("scheduler", "?"),
+        )
+        for e in data["entries"]:
+            sched.entries[e["task_id"]] = ScheduledTask(
+                task_id=e["task_id"],
+                processor=e["processor"],
+                start=float(e["start"]),
+                finish=float(e["finish"]),
+                arrival=float(e["arrival"]),
+                absolute_deadline=float(e["absolute_deadline"]),
+            )
+        return sched

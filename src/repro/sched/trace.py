@@ -1,0 +1,100 @@
+"""Schedule trace export/import (CSV) and event streams.
+
+Traces make schedules consumable by external tools (spreadsheets,
+plotters, trace viewers): one CSV row per placement, ordered by start
+time, plus an event-stream view (start/finish instants) for building
+timelines.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import SerializationError
+from .schedule import Schedule, ScheduledTask
+
+__all__ = ["save_trace_csv", "load_trace_csv", "TraceEvent", "iter_events"]
+
+_FIELDS = (
+    "task_id",
+    "processor",
+    "start",
+    "finish",
+    "arrival",
+    "absolute_deadline",
+    "lateness",
+)
+
+
+def save_trace_csv(schedule: Schedule, path: str | Path) -> None:
+    """Write one row per scheduled task, ordered by start time."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_FIELDS)
+        for e in sorted(schedule, key=lambda e: (e.start, e.task_id)):
+            writer.writerow(
+                [
+                    e.task_id,
+                    e.processor,
+                    e.start,
+                    e.finish,
+                    e.arrival,
+                    e.absolute_deadline,
+                    e.lateness,
+                ]
+            )
+
+
+def load_trace_csv(path: str | Path) -> Schedule:
+    """Rebuild a :class:`Schedule` from :func:`save_trace_csv` output.
+
+    The feasibility verdict is recomputed from the loaded lateness
+    values (the CSV carries placements, not the scheduler's verdict).
+    """
+    sched = Schedule(scheduler_name="TRACE")
+    try:
+        with open(path, newline="") as fh:
+            reader = csv.DictReader(fh)
+            if reader.fieldnames is None or set(_FIELDS[:-1]) - set(
+                reader.fieldnames
+            ):
+                raise SerializationError(
+                    f"trace {path} is missing required columns"
+                )
+            for row in reader:
+                entry = ScheduledTask(
+                    task_id=row["task_id"],
+                    processor=row["processor"],
+                    start=float(row["start"]),
+                    finish=float(row["finish"]),
+                    arrival=float(row["arrival"]),
+                    absolute_deadline=float(row["absolute_deadline"]),
+                )
+                sched.entries[entry.task_id] = entry
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"cannot load trace {path}: {exc}") from exc
+    sched.feasible = all(e.meets_deadline for e in sched)
+    return sched
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instant in the schedule's event stream."""
+
+    time: float
+    kind: str  # "start" | "finish"
+    task_id: str
+    processor: str
+
+
+def iter_events(schedule: Schedule) -> list[TraceEvent]:
+    """Chronological start/finish events (finish before start on ties,
+    so back-to-back executions appear as release-then-acquire)."""
+    events: list[TraceEvent] = []
+    for e in schedule:
+        events.append(TraceEvent(e.start, "start", e.task_id, e.processor))
+        events.append(TraceEvent(e.finish, "finish", e.task_id, e.processor))
+    events.sort(key=lambda ev: (ev.time, ev.kind == "start", ev.task_id))
+    return events

@@ -1,0 +1,158 @@
+"""Independent schedule validator.
+
+This module re-derives every constraint a valid time-driven
+non-preemptive multiprocessor schedule must satisfy (§3.3) directly from
+the models — it shares no logic with the schedulers, so the test suite
+can use it as an oracle:
+
+* **completeness** — a feasible schedule places every task exactly once;
+* **eligibility** — each task runs on a processor of an eligible class;
+* **duration** — ``f_i − s_i`` equals the task's WCET on that class;
+* **window** — ``a_i <= s_i`` and, for feasible schedules, ``f_i <= D_i``;
+* **exclusivity** — executions on one processor never overlap;
+* **precedence** — ``s_j >= f_i`` plus the worst-case communication
+  delay when the tasks sit on different processors;
+* **resources** (extension §7.3) — tasks sharing a logical resource
+  never overlap in time, on any pair of processors.
+"""
+
+from __future__ import annotations
+
+from ..core.assignment import DeadlineAssignment
+from ..graph.taskgraph import TaskGraph
+from ..system.interconnect import CommunicationModel
+from ..system.platform import Platform
+from ..types import time_geq, time_leq
+from .schedule import Schedule
+
+__all__ = ["validate_schedule", "assert_valid_schedule"]
+
+
+def validate_schedule(
+    schedule: Schedule,
+    graph: TaskGraph,
+    platform: Platform,
+    assignment: DeadlineAssignment | None = None,
+    *,
+    comm: CommunicationModel | None = None,
+    check_deadlines: bool | None = None,
+) -> list[str]:
+    """Return all constraint violations of *schedule* (empty == valid).
+
+    *check_deadlines* defaults to ``schedule.feasible`` — an explicitly
+    infeasible schedule (produced with ``continue_on_miss=True``) is
+    still checked for structural validity, just not for deadline misses.
+
+    Note: for stateful contention communication models the precedence
+    check uses the *nominal* (contention-free) delay, which is a lower
+    bound on the actual transfer time, so the check stays sound.
+    """
+    comm_model = comm if comm is not None else platform.comm
+    if check_deadlines is None:
+        check_deadlines = schedule.feasible
+    problems: list[str] = []
+
+    if schedule.feasible:
+        for tid in graph.task_ids():
+            if tid not in schedule:
+                problems.append(
+                    f"feasible schedule is missing task {tid!r}"
+                )
+
+    for entry in schedule:
+        tid = entry.task_id
+        if tid not in graph:
+            problems.append(f"scheduled task {tid!r} is not in the graph")
+            continue
+        task = graph.task(tid)
+        try:
+            cls = platform.class_of(entry.processor)
+        except Exception:
+            problems.append(
+                f"task {tid!r} placed on unknown processor "
+                f"{entry.processor!r}"
+            )
+            continue
+        if not task.is_eligible(cls):
+            problems.append(
+                f"task {tid!r} placed on ineligible processor "
+                f"{entry.processor!r} (class {cls!r})"
+            )
+            continue
+        expected = task.wcet_on(cls)
+        actual = entry.finish - entry.start
+        if abs(actual - expected) > 1e-6 * max(1.0, expected):
+            problems.append(
+                f"task {tid!r}: duration {actual:g} != WCET {expected:g} "
+                f"on class {cls!r}"
+            )
+        if assignment is not None and tid in assignment:
+            w = assignment.window(tid)
+            if not time_geq(entry.start, w.arrival):
+                problems.append(
+                    f"task {tid!r} starts at {entry.start:g} before its "
+                    f"arrival time {w.arrival:g}"
+                )
+            if check_deadlines and not time_leq(
+                entry.finish, w.absolute_deadline
+            ):
+                problems.append(
+                    f"task {tid!r} finishes at {entry.finish:g} past its "
+                    f"absolute deadline {w.absolute_deadline:g}"
+                )
+
+    # Processor exclusivity.
+    for proc in platform.processors():
+        rows = schedule.tasks_on(proc.id)
+        for a, b in zip(rows, rows[1:]):
+            if not time_leq(a.finish, b.start):
+                problems.append(
+                    f"processor {proc.id!r}: {a.task_id!r} [{a.start:g},"
+                    f"{a.finish:g}] overlaps {b.task_id!r} [{b.start:g},"
+                    f"{b.finish:g}]"
+                )
+
+    # Precedence + communication.
+    for src, dst, size in graph.edges():
+        if src not in schedule or dst not in schedule:
+            continue
+        e_src = schedule.entry(src)
+        e_dst = schedule.entry(dst)
+        delay = comm_model.cost(e_src.processor, e_dst.processor, size)
+        earliest = e_src.finish + delay
+        if not time_geq(e_dst.start, earliest):
+            problems.append(
+                f"arc ({src!r}, {dst!r}): successor starts at "
+                f"{e_dst.start:g} before data-ready time {earliest:g}"
+            )
+
+    # Shared-resource serialization (extension §7.3).
+    by_resource: dict[str, list] = {}
+    for entry in schedule:
+        if entry.task_id not in graph:
+            continue
+        for res in graph.task(entry.task_id).resources:
+            by_resource.setdefault(res, []).append(entry)
+    for res, entries in by_resource.items():
+        entries.sort(key=lambda e: (e.start, e.task_id))
+        for a, b in zip(entries, entries[1:]):
+            if not time_leq(a.finish, b.start):
+                problems.append(
+                    f"resource {res!r}: {a.task_id!r} and {b.task_id!r} "
+                    f"hold it concurrently"
+                )
+    return problems
+
+
+def assert_valid_schedule(
+    schedule: Schedule,
+    graph: TaskGraph,
+    platform: Platform,
+    assignment: DeadlineAssignment | None = None,
+    **kwargs,
+) -> None:
+    """Raise ``AssertionError`` listing violations, if any."""
+    problems = validate_schedule(
+        schedule, graph, platform, assignment, **kwargs
+    )
+    assert not problems, "invalid schedule:\n  " + "\n  ".join(problems)

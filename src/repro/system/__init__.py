@@ -1,0 +1,38 @@
+"""Heterogeneous multiprocessor architecture model (§3.1).
+
+* :class:`ProcessorClass` / :class:`Processor` — hardware configurations
+  and schedulable processors.
+* :class:`Platform` — the machine ``P`` plus a communication model.
+* Communication models: :class:`SharedBus` (the paper's), plus
+  :class:`ZeroCost`, :class:`LinkTopology` and the stateful
+  :class:`ContentionBus` extension.
+"""
+
+from .interconnect import (
+    CommunicationModel,
+    ContentionBus,
+    LinkTopology,
+    SharedBus,
+    ZeroCost,
+)
+from .platform import (
+    Platform,
+    identical_platform,
+    platform_from_dict,
+    platform_to_dict,
+)
+from .processor import Processor, ProcessorClass
+
+__all__ = [
+    "Processor",
+    "ProcessorClass",
+    "Platform",
+    "identical_platform",
+    "platform_to_dict",
+    "platform_from_dict",
+    "CommunicationModel",
+    "ZeroCost",
+    "SharedBus",
+    "LinkTopology",
+    "ContentionBus",
+]

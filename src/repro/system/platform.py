@@ -1,0 +1,214 @@
+"""The multiprocessor platform ``P`` (§3.1): processors + interconnect."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from ..errors import EligibilityError, PlatformError, SerializationError
+from ..graph.task import Task
+from ..types import ProcessorClassId, ProcessorId, Time
+from .interconnect import CommunicationModel, SharedBus
+from .processor import Processor, ProcessorClass
+
+__all__ = ["Platform", "identical_platform", "platform_to_dict", "platform_from_dict"]
+
+
+class Platform:
+    """A heterogeneous multiprocessor with a communication model.
+
+    Parameters
+    ----------
+    processors:
+        The schedulable processors ``p_1 .. p_m`` (ids must be unique).
+    classes:
+        The processor classes ``E``; every processor's class must appear
+        here.
+    comm:
+        Worst-case communication-cost model (default: the paper's shared
+        bus at one time unit per data item).
+    """
+
+    def __init__(
+        self,
+        processors: Sequence[Processor],
+        classes: Sequence[ProcessorClass],
+        comm: CommunicationModel | None = None,
+    ) -> None:
+        if not processors:
+            raise PlatformError("a platform needs at least one processor")
+        if not classes:
+            raise PlatformError("a platform needs at least one processor class")
+        self._classes: dict[ProcessorClassId, ProcessorClass] = {}
+        for cls in classes:
+            if cls.id in self._classes:
+                raise PlatformError(f"duplicate processor class id {cls.id!r}")
+            self._classes[cls.id] = cls
+        self._procs: dict[ProcessorId, Processor] = {}
+        for proc in processors:
+            if proc.id in self._procs:
+                raise PlatformError(f"duplicate processor id {proc.id!r}")
+            if proc.cls not in self._classes:
+                raise PlatformError(
+                    f"processor {proc.id!r} references unknown class {proc.cls!r}"
+                )
+            self._procs[proc.id] = proc
+        self.comm: CommunicationModel = comm if comm is not None else SharedBus()
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of processors (the paper's ``m``)."""
+        return len(self._procs)
+
+    @property
+    def m_e(self) -> int:
+        """Number of processor classes (the paper's ``m_e = |E|``)."""
+        return len(self._classes)
+
+    def processors(self) -> Iterator[Processor]:
+        return iter(self._procs.values())
+
+    def processor_ids(self) -> list[ProcessorId]:
+        return list(self._procs)
+
+    def processor(self, proc_id: str) -> Processor:
+        try:
+            return self._procs[ProcessorId(proc_id)]
+        except KeyError:
+            raise PlatformError(f"unknown processor id {proc_id!r}") from None
+
+    def classes(self) -> Iterator[ProcessorClass]:
+        return iter(self._classes.values())
+
+    def class_ids(self) -> list[ProcessorClassId]:
+        return list(self._classes)
+
+    def processor_class(self, cls_id: str) -> ProcessorClass:
+        try:
+            return self._classes[ProcessorClassId(cls_id)]
+        except KeyError:
+            raise PlatformError(f"unknown processor class id {cls_id!r}") from None
+
+    def class_of(self, proc_id: str) -> ProcessorClassId:
+        """Class ``e(p_q)`` of a processor."""
+        return self.processor(proc_id).cls
+
+    def used_class_ids(self) -> list[ProcessorClassId]:
+        """Classes that at least one processor actually instantiates."""
+        seen: dict[ProcessorClassId, None] = {}
+        for proc in self._procs.values():
+            seen.setdefault(proc.cls, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # Task/processor eligibility (§5.2's 5% ineligibility mechanism)
+    # ------------------------------------------------------------------
+    def eligible_processors(self, task: Task) -> list[Processor]:
+        """Processors whose class appears in the task's WCET vector."""
+        return [p for p in self._procs.values() if task.is_eligible(p.cls)]
+
+    def require_eligible(self, task: Task) -> list[Processor]:
+        """Like :meth:`eligible_processors` but raises when empty."""
+        procs = self.eligible_processors(task)
+        if not procs:
+            raise EligibilityError(
+                f"task {task.id!r} is eligible on classes "
+                f"{sorted(task.eligible_classes())}, none of which are "
+                f"instantiated by this platform"
+            )
+        return procs
+
+    def wcet_of(self, task: Task, proc_id: str) -> Time:
+        """WCET of *task* on a concrete processor."""
+        cls = self.class_of(proc_id)
+        if not task.is_eligible(cls):
+            raise EligibilityError(
+                f"task {task.id!r} is not eligible on processor {proc_id!r} "
+                f"(class {cls!r})"
+            )
+        return task.wcet_on(cls)
+
+    def communication_cost(
+        self, src_proc: str, dst_proc: str, message_size: float
+    ) -> Time:
+        """Nominal worst-case message delay between two processors."""
+        return self.comm.cost(
+            ProcessorId(src_proc), ProcessorId(dst_proc), message_size
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Platform(m={self.m}, m_e={self.m_e}, comm={self.comm!r})"
+
+
+def identical_platform(
+    m: int,
+    *,
+    cls_id: str = "default",
+    comm: CommunicationModel | None = None,
+) -> Platform:
+    """An ``m``-processor identical-machines platform with one class."""
+    if m < 1:
+        raise PlatformError("m must be at least 1")
+    cls = ProcessorClass(ProcessorClassId(cls_id))
+    procs = [
+        Processor(ProcessorId(f"p{q}"), ProcessorClassId(cls_id))
+        for q in range(1, m + 1)
+    ]
+    return Platform(procs, [cls], comm=comm)
+
+
+def platform_to_dict(platform: Platform) -> dict[str, Any]:
+    """JSON-serializable description (communication model by name)."""
+    comm = platform.comm
+    if isinstance(comm, SharedBus):
+        comm_doc: dict[str, Any] = {
+            "kind": "shared_bus",
+            "per_item_delay": comm.per_item_delay,
+        }
+    else:
+        comm_doc = {"kind": type(comm).__name__}
+    return {
+        "format": "repro.platform/1",
+        "classes": [
+            {
+                "id": str(c.id),
+                "speed_factor": c.speed_factor,
+                "description": c.description,
+            }
+            for c in platform.classes()
+        ],
+        "processors": [
+            {"id": str(p.id), "cls": str(p.cls)} for p in platform.processors()
+        ],
+        "comm": comm_doc,
+    }
+
+
+def platform_from_dict(data: dict[str, Any]) -> Platform:
+    """Inverse of :func:`platform_to_dict` (shared-bus comm only)."""
+    if data.get("format") != "repro.platform/1":
+        raise SerializationError(
+            f"unsupported platform format {data.get('format')!r}"
+        )
+    try:
+        classes = [
+            ProcessorClass(
+                ProcessorClassId(c["id"]),
+                speed_factor=float(c.get("speed_factor", 1.0)),
+                description=c.get("description", ""),
+            )
+            for c in data["classes"]
+        ]
+        procs = [
+            Processor(ProcessorId(p["id"]), ProcessorClassId(p["cls"]))
+            for p in data["processors"]
+        ]
+        comm_doc = data.get("comm", {"kind": "shared_bus", "per_item_delay": 1.0})
+        if comm_doc.get("kind") != "shared_bus":
+            raise SerializationError(
+                f"cannot deserialize communication model {comm_doc.get('kind')!r}"
+            )
+        comm = SharedBus(float(comm_doc.get("per_item_delay", 1.0)))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed platform document: {exc}") from exc
+    return Platform(procs, classes, comm=comm)

@@ -1,0 +1,58 @@
+"""Shared type aliases and small value types.
+
+The paper models system time as discrete time units indexed by the
+naturals (§3.1) but notes this is without loss of generality; the slicing
+metrics produce fractional local deadlines (e.g. ``d_i = c_i (1 + R)``),
+so the library represents time as non-negative floats throughout and
+treats the paper's integral units as a special case.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+__all__ = [
+    "Time",
+    "TaskId",
+    "ProcessorId",
+    "ProcessorClassId",
+    "EPSILON",
+    "time_almost_equal",
+    "time_leq",
+    "time_geq",
+]
+
+#: A point in (or span of) simulated time, in time units.
+Time = float
+
+#: Identifier of a task within a :class:`~repro.graph.taskgraph.TaskGraph`.
+TaskId = NewType("TaskId", str)
+
+#: Identifier of a processor within a :class:`~repro.system.platform.Platform`.
+ProcessorId = NewType("ProcessorId", str)
+
+#: Identifier of a processor class (hardware configuration), §3.1.
+ProcessorClassId = NewType("ProcessorClassId", str)
+
+#: Tolerance used when comparing computed times for equality.  Slicing
+#: arithmetic is a handful of additions/multiplications per task, so
+#: accumulated floating-point error stays far below this bound for any
+#: realistic task-set size.
+EPSILON: float = 1e-9
+
+
+def time_almost_equal(a: Time, b: Time, *, eps: float = EPSILON) -> bool:
+    """Return ``True`` when two times agree within *eps* (scaled)."""
+    scale = max(1.0, abs(a), abs(b))
+    return abs(a - b) <= eps * scale
+
+
+def time_leq(a: Time, b: Time, *, eps: float = EPSILON) -> bool:
+    """Tolerant ``a <= b`` for computed times."""
+    scale = max(1.0, abs(a), abs(b))
+    return a <= b + eps * scale
+
+
+def time_geq(a: Time, b: Time, *, eps: float = EPSILON) -> bool:
+    """Tolerant ``a >= b`` for computed times."""
+    return time_leq(b, a, eps=eps)

@@ -1,0 +1,5 @@
+"""Dependency-free SVG visualization of graphs and schedules."""
+
+from .svg import gantt_svg, graph_svg
+
+__all__ = ["gantt_svg", "graph_svg"]

@@ -1,0 +1,28 @@
+"""Random workload and platform generation (§5.1–5.2)."""
+
+from .generator import Workload, generate_task_graph, generate_workload
+from .params import WorkloadParams
+from .platformgen import class_names, generate_platform
+from .scenarios import (
+    control_pipeline_graph,
+    engine_control_graph,
+    paper_defaults,
+    sensor_fusion_graph,
+    small_system,
+    uniform_execution_times,
+)
+
+__all__ = [
+    "WorkloadParams",
+    "Workload",
+    "generate_workload",
+    "generate_task_graph",
+    "generate_platform",
+    "class_names",
+    "paper_defaults",
+    "small_system",
+    "uniform_execution_times",
+    "control_pipeline_graph",
+    "sensor_fusion_graph",
+    "engine_control_graph",
+]

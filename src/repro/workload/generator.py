@@ -1,0 +1,266 @@
+"""Random task-graph generator (§5.2).
+
+Graphs are generated level by level:
+
+1. draw the task count ``n`` and depth ``L`` from their ranges;
+2. place one task per level, then scatter the remaining ``n − L`` tasks
+   uniformly over levels;
+3. connect every task below the top level to 1–3 predecessors — at
+   least one from the immediately previous level (which makes the level
+   structure, and hence the graph depth, exact) — preferring
+   predecessors whose out-degree is still below the fan-out bound;
+4. draw per-class integer WCETs uniformly from
+   ``[c_mean(1−ETD), c_mean(1+ETD)]``, mark each (task, class) pair
+   ineligible with probability 5% (keeping at least one class), and
+   attach message sizes targeting a mean communication cost of
+   ``CCR × c_mean``;
+5. derive the E-T-E deadline from the overall laxity ratio,
+   ``D = OLR × Σ_i c̄_i`` with ``c̄_i`` the per-task mean over eligible
+   classes, and apply it to every input–output pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..graph.task import Task
+from ..graph.taskgraph import TaskGraph
+from ..system.platform import Platform
+from ..types import ProcessorClassId
+from .params import WorkloadParams
+from .platformgen import generate_platform
+
+__all__ = ["generate_task_graph", "generate_workload", "Workload"]
+
+
+class Workload:
+    """A generated (task graph, platform) pair with its parameters."""
+
+    def __init__(
+        self, graph: TaskGraph, platform: Platform, params: WorkloadParams
+    ) -> None:
+        self.graph = graph
+        self.platform = platform
+        self.params = params
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workload(n_tasks={self.graph.n_tasks}, m={self.platform.m}, "
+            f"m_e={self.platform.m_e})"
+        )
+
+
+def generate_workload(
+    params: WorkloadParams, rng: np.random.Generator
+) -> Workload:
+    """Generate a platform and a matching task graph (one trial's input)."""
+    platform = generate_platform(params, rng)
+    classes = [str(c) for c in platform.used_class_ids()]
+    graph = generate_task_graph(params, rng, classes)
+    return Workload(graph, platform, params)
+
+
+def generate_task_graph(
+    params: WorkloadParams,
+    rng: np.random.Generator,
+    classes: list[str],
+) -> TaskGraph:
+    """Generate one random task graph for the given processor classes."""
+    if not classes:
+        raise WorkloadError("at least one processor class is required")
+
+    n = int(rng.integers(params.n_tasks_range[0], params.n_tasks_range[1] + 1))
+    depth = int(rng.integers(params.depth_range[0], params.depth_range[1] + 1))
+    depth = min(depth, n)
+
+    levels = _assign_levels(n, depth, rng, params.level_skew)
+    graph = TaskGraph()
+    ids_by_level: list[list[str]] = []
+    counter = 0
+    for level_size in levels:
+        ids_by_level.append([])
+        for _ in range(level_size):
+            tid = f"t{counter:03d}"
+            counter += 1
+            graph.add_task(
+                Task(id=tid, wcet=_draw_wcets(params, rng, classes))
+            )
+            ids_by_level[-1].append(tid)
+
+    _connect_levels(graph, ids_by_level, params, rng)
+    _attach_messages(graph, params, rng)
+    _attach_e2e_deadlines(graph, params)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _assign_levels(
+    n: int, depth: int, rng: np.random.Generator, skew: float
+) -> list[int]:
+    """Sizes of each level: one task per level plus a skewed scatter.
+
+    Each surplus task lands in level ``floor(u^skew × depth)`` for
+    ``u ~ U[0,1)``, and level positions are shuffled afterwards.  With
+    ``skew = 1`` the scatter is uniform; larger values concentrate
+    surplus tasks in fewer levels, yielding the bursty
+    wide-level/narrow-level structure whose parallelism spikes drive
+    the contention the adaptive metrics exist to absorb (DESIGN.md,
+    calibration notes).
+    """
+    sizes = [1] * depth
+    for _ in range(n - depth):
+        idx = int((rng.random() ** skew) * depth)
+        sizes[min(idx, depth - 1)] += 1
+    rng.shuffle(sizes)
+    return sizes
+
+
+def _draw_wcets(
+    params: WorkloadParams, rng: np.random.Generator, classes: list[str]
+) -> dict[ProcessorClassId, float]:
+    """Per-class WCET vector with the 5% ineligibility mechanism."""
+    lo, hi = params.wcet_bounds
+    wcet: dict[ProcessorClassId, float] = {}
+    for cls in classes:
+        if rng.random() < params.ineligibility_prob:
+            continue  # task deemed inappropriate for this class (§5.2)
+        wcet[ProcessorClassId(cls)] = _draw_time(lo, hi, params, rng)
+    if not wcet:
+        # Guarantee schedulability in principle: restore a random class.
+        cls = classes[int(rng.integers(0, len(classes)))]
+        wcet[ProcessorClassId(cls)] = _draw_time(lo, hi, params, rng)
+    return wcet
+
+
+def _draw_time(
+    lo: float, hi: float, params: WorkloadParams, rng: np.random.Generator
+) -> float:
+    if params.integer_times:
+        # Integer time units (§3.1); execution times stay >= 1 even at
+        # ETD = 100%, where the real interval's lower edge touches zero.
+        ilo = max(1, int(np.ceil(lo - 1e-9)))
+        ihi = max(ilo, int(np.floor(hi + 1e-9)))
+        return float(rng.integers(ilo, ihi + 1))
+    return float(rng.uniform(max(lo, np.finfo(float).tiny), hi))
+
+
+def _connect_levels(
+    graph: TaskGraph,
+    ids_by_level: list[list[str]],
+    params: WorkloadParams,
+    rng: np.random.Generator,
+) -> None:
+    """Wire each non-input task to 1–3 predecessors (§5.2)."""
+    fan_lo, fan_hi = params.fan_range
+    out_degree: dict[str, int] = {tid: 0 for tid in graph.task_ids()}
+
+    for level in range(1, len(ids_by_level)):
+        prev = ids_by_level[level - 1]
+        earlier = [tid for lvl in ids_by_level[:level] for tid in lvl]
+        for tid in ids_by_level[level]:
+            k = int(rng.integers(fan_lo, fan_hi + 1))
+            # First predecessor comes from the previous level so the
+            # level structure (and the 8–12 level depth) is exact.
+            first = _pick_pred(prev, out_degree, fan_hi, rng)
+            chosen = {first}
+            # Remaining predecessors may come from any earlier level.
+            pool = [t for t in earlier if t not in chosen]
+            while len(chosen) < k and pool:
+                pick = _pick_pred(pool, out_degree, fan_hi, rng)
+                chosen.add(pick)
+                pool.remove(pick)
+            for pred in sorted(chosen):
+                graph.add_edge(pred, tid)
+                out_degree[pred] += 1
+
+
+def _pick_pred(
+    candidates: list[str],
+    out_degree: dict[str, int],
+    fan_hi: int,
+    rng: np.random.Generator,
+) -> str:
+    """Uniform pick, preferring tasks whose out-degree is below the cap."""
+    open_slots = [t for t in candidates if out_degree[t] < fan_hi]
+    pool = open_slots if open_slots else candidates
+    return pool[int(rng.integers(0, len(pool)))]
+
+
+def _attach_e2e_deadlines(graph: TaskGraph, params: WorkloadParams) -> None:
+    """Derive the E-T-E deadlines from the OLR (§5.2).
+
+    ``deadline_mode = "workload"`` (default, the paper's definition):
+    one uniform deadline ``D = OLR × Σ_i c̄_i`` — the overall laxity
+    ratio of the deadline to the average accumulated task-graph
+    workload — applied to every input–output pair.
+
+    ``deadline_mode = "pair-surplus"``: per-pair
+
+        ``D = SL(a1, a2) + OLR × (W(a1, a2) − SL(a1, a2))``
+
+    where ``W`` is the accumulated workload between the pair (the sum
+    of average-over-classes execution times of every task on some a1→a2
+    path, endpoints included) and ``SL`` the workload of the longest
+    such path.  ``OLR`` is then the fraction of the pair's parallel
+    surplus granted as laxity beyond its critical chain: ``OLR → 0``
+    pins the deadline at the estimated critical path, ``OLR = 1``
+    allows fully serial execution between the pair.  This mode holds
+    every pair — shallow or deep — equally tight, which makes it a much
+    harsher regime than the paper's; it is provided for robustness
+    studies.  Unconnected pairs impose no constraint.
+    """
+    if params.deadline_mode == "workload":
+        total = sum(t.mean_wcet() for t in graph.tasks())
+        graph.set_uniform_e2e_deadline(params.olr * total)
+        return
+
+    from ..graph.algorithms import TransitiveClosure
+
+    closure = TransitiveClosure(graph)
+    mean_wcet = {t.id: t.mean_wcet() for t in graph.tasks()}
+    order = graph.topological_order()
+    for a1 in graph.input_tasks():
+        descendants = closure.descendants(a1)
+        # Longest-chain workload from a1 to every descendant (one DP).
+        chain: dict[str, float] = {a1: mean_wcet[a1]}
+        for tid in order:
+            base = chain.get(tid)
+            if base is None:
+                continue
+            for succ in graph.successors(tid):
+                cand = base + mean_wcet[succ]
+                if cand > chain.get(succ, float("-inf")):
+                    chain[succ] = cand
+        for a2 in graph.output_tasks():
+            if a1 == a2:
+                # An isolated task's window is exactly its own workload.
+                graph.set_e2e_deadline(a1, a2, mean_wcet[a1])
+                continue
+            if not closure.reachable(a1, a2):
+                continue
+            between = descendants & (closure.ancestors(a2) | {a2})
+            work = mean_wcet[a1] + sum(mean_wcet[t] for t in between)
+            sl = chain[a2]
+            graph.set_e2e_deadline(a1, a2, sl + params.olr * (work - sl))
+
+
+def _attach_messages(
+    graph: TaskGraph, params: WorkloadParams, rng: np.random.Generator
+) -> None:
+    """Draw integer message sizes targeting a mean cost of CCR × c_mean.
+
+    With the paper's one-time-unit-per-item bus, a uniform integer size
+    in ``{1, .., 2·CCR·c_mean − 1}`` has the target mean (2 items for
+    CCR = 0.1, c_mean = 20).  A CCR of zero produces empty messages.
+    """
+    max_size = int(round(2.0 * params.mean_message_cost)) - 1
+    edges = list(graph.edges())
+    for src, dst, _ in edges:
+        if max_size < 1:
+            size = 0.0
+        else:
+            size = float(rng.integers(1, max_size + 1))
+        graph.set_message_size(src, dst, size)

@@ -1,0 +1,153 @@
+"""Workload and platform generation parameters (§5.1–5.2).
+
+:class:`WorkloadParams` captures every knob of the paper's experimental
+setup with the paper's values as defaults:
+
+* 40–60 tasks per graph, 8–12 levels deep, 1–3 successors/predecessors;
+* mean execution time ``c_mean = 20`` time units;
+* execution-time distribution (ETD): per-class WCETs drawn uniformly
+  from ``[c_mean(1−ETD), c_mean(1+ETD)]`` (default 25%);
+* 5% probability that a task is ineligible on a processor class;
+* overall laxity ratio (OLR): the E-T-E deadline is
+  ``OLR × Σ_i c̄_i`` (default 0.8);
+* communication-to-computation ratio (CCR): message sizes are drawn so
+  the mean message cost is ``CCR × c_mean`` (default 0.1);
+* 2–8 processors drawn from 1–3 randomly generated processor classes,
+  connected by a shared bus at one time unit per data item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..errors import WorkloadError
+
+__all__ = ["WorkloadParams"]
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Parameters of the random workload/platform generator."""
+
+    # --- platform (§5.1) -------------------------------------------------
+    m: int = 3
+    n_classes_range: tuple[int, int] = (1, 3)
+    bus_delay_per_item: float = 1.0
+
+    # --- task graph structure (§5.2) -------------------------------------
+    n_tasks_range: tuple[int, int] = (40, 60)
+    depth_range: tuple[int, int] = (8, 12)
+    fan_range: tuple[int, int] = (1, 3)
+    #: Skew exponent for distributing tasks over levels.  1.0 scatters
+    #: uniformly; larger values concentrate tasks in fewer levels,
+    #: producing bursts of parallelism (wide levels) separated by narrow
+    #: ones.  The default (2.0) reproduces the paper's reported metric
+    #: ordering — see the calibration notes in DESIGN.md.
+    level_skew: float = 2.0
+
+    # --- timing (§5.2) ----------------------------------------------------
+    c_mean: float = 20.0
+    etd: float = 0.25
+    olr: float = 0.8
+    ccr: float = 0.1
+    ineligibility_prob: float = 0.05
+    integer_times: bool = True
+    #: How the OLR maps to E-T-E deadlines:
+    #: ``"workload"`` (default, §5.2): one uniform deadline
+    #: ``D = OLR × Σ_i c̄_i`` for every input–output pair;
+    #: ``"pair-surplus"``: per-pair ``D = SL + OLR × (W_pair − SL)``
+    #: anchored at the pair's estimated critical chain.
+    deadline_mode: str = "workload"
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise WorkloadError("m must be at least 1")
+        self._check_range("n_classes_range", self.n_classes_range, 1)
+        self._check_range("n_tasks_range", self.n_tasks_range, 1)
+        self._check_range("depth_range", self.depth_range, 1)
+        self._check_range("fan_range", self.fan_range, 1)
+        if self.depth_range[0] > self.n_tasks_range[0]:
+            raise WorkloadError(
+                "minimum depth cannot exceed the minimum task count "
+                "(each level needs at least one task)"
+            )
+        if self.c_mean <= 0.0:
+            raise WorkloadError("c_mean must be positive")
+        if not (0.0 <= self.etd <= 1.0):
+            raise WorkloadError("ETD must lie in [0, 1]")
+        if self.olr <= 0.0:
+            raise WorkloadError("OLR must be positive")
+        if self.ccr < 0.0:
+            raise WorkloadError("CCR must be non-negative")
+        if not (0.0 <= self.ineligibility_prob < 1.0):
+            raise WorkloadError("ineligibility probability must be in [0, 1)")
+        if self.bus_delay_per_item < 0.0:
+            raise WorkloadError("bus delay must be non-negative")
+        if self.level_skew <= 0.0:
+            raise WorkloadError("level skew must be positive")
+        if self.deadline_mode not in ("workload", "pair-surplus"):
+            raise WorkloadError(
+                f"unknown deadline mode {self.deadline_mode!r}; choose "
+                "'workload' or 'pair-surplus'"
+            )
+        if self.integer_times and self.c_mean < 1.0:
+            # Integer execution times must stay >= 1 time unit; the
+            # generator clamps the lower ETD bound at 1 accordingly.
+            raise WorkloadError(
+                f"integer execution times need c_mean >= 1 (got {self.c_mean:g})"
+            )
+
+    @staticmethod
+    def _check_range(name: str, rng: tuple[int, int], minimum: int) -> None:
+        lo, hi = rng
+        if lo > hi:
+            raise WorkloadError(f"{name}: lower bound {lo} exceeds upper {hi}")
+        if lo < minimum:
+            raise WorkloadError(f"{name}: lower bound must be >= {minimum}")
+
+    # ------------------------------------------------------------------
+    def with_overrides(self, **kwargs: Any) -> "WorkloadParams":
+        """Copy with some fields replaced (sweep convenience)."""
+        return replace(self, **kwargs)
+
+    @property
+    def wcet_bounds(self) -> tuple[float, float]:
+        """The ETD interval ``[c_mean(1−ETD), c_mean(1+ETD)]``."""
+        return (
+            self.c_mean * (1.0 - self.etd),
+            self.c_mean * (1.0 + self.etd),
+        )
+
+    @property
+    def mean_message_cost(self) -> float:
+        """Target mean message communication cost, ``CCR × c_mean``."""
+        return self.ccr * self.c_mean
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable representation (experiment provenance)."""
+        return {
+            "m": self.m,
+            "n_classes_range": list(self.n_classes_range),
+            "bus_delay_per_item": self.bus_delay_per_item,
+            "n_tasks_range": list(self.n_tasks_range),
+            "depth_range": list(self.depth_range),
+            "fan_range": list(self.fan_range),
+            "level_skew": self.level_skew,
+            "c_mean": self.c_mean,
+            "etd": self.etd,
+            "olr": self.olr,
+            "ccr": self.ccr,
+            "ineligibility_prob": self.ineligibility_prob,
+            "integer_times": self.integer_times,
+            "deadline_mode": self.deadline_mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WorkloadParams":
+        """Inverse of :meth:`to_dict`."""
+        kwargs = dict(data)
+        for key in ("n_classes_range", "n_tasks_range", "depth_range", "fan_range"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)

@@ -1,0 +1,58 @@
+"""Random platform generation (§5.1).
+
+The paper's experimental platform is a heterogeneous multiprocessor on a
+shared bus: 2–8 processors, 1–3 randomly chosen processor classes, each
+processor assigned a random class, and a communication cost of one time
+unit per transmitted data item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system.interconnect import SharedBus
+from ..system.platform import Platform
+from ..system.processor import Processor, ProcessorClass
+from ..types import ProcessorClassId, ProcessorId
+from .params import WorkloadParams
+
+__all__ = ["generate_platform", "class_names"]
+
+
+def class_names(n_classes: int) -> list[str]:
+    """Canonical class ids ``e1 .. e{n}`` (§3.1's set ``E``)."""
+    return [f"e{k}" for k in range(1, n_classes + 1)]
+
+
+def generate_platform(
+    params: WorkloadParams, rng: np.random.Generator
+) -> Platform:
+    """Draw a random platform according to *params*.
+
+    The number of classes ``m_e`` is uniform over
+    ``params.n_classes_range``; every processor's class is uniform over
+    the generated classes.  The draw is retried (bounded) so that every
+    generated class is instantiated by at least one processor — the
+    class set ``E`` of §3.1 is defined as the classes present in the
+    system, and task WCET vectors are generated per class in ``E``.
+    """
+    lo, hi = params.n_classes_range
+    n_classes = int(rng.integers(lo, hi + 1))
+    n_classes = min(n_classes, params.m)  # every class must be realizable
+    names = class_names(n_classes)
+    classes = [ProcessorClass(ProcessorClassId(c)) for c in names]
+
+    # Assign a random class to each processor; force coverage of all
+    # classes by dealing one processor to each class first, then filling
+    # the rest uniformly, and shuffling the assignment.
+    assignment = list(names)
+    extra = params.m - n_classes
+    if extra > 0:
+        assignment += [names[int(i)] for i in rng.integers(0, n_classes, extra)]
+    rng.shuffle(assignment)
+
+    procs = [
+        Processor(ProcessorId(f"p{q + 1}"), ProcessorClassId(assignment[q]))
+        for q in range(params.m)
+    ]
+    return Platform(procs, classes, comm=SharedBus(params.bus_delay_per_item))

@@ -1,0 +1,135 @@
+"""Canned workload scenarios.
+
+:func:`paper_defaults` reproduces the paper's default experimental
+configuration (§6): ETD = 25%, OLR = 0.8, CCR = 0.1, shared bus, 40–60
+tasks, depth 8–12, 1–3 classes.  The other scenarios are realistic
+application shapes used by the examples and by robustness tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.builder import GraphBuilder
+from ..graph.taskgraph import TaskGraph
+from .params import WorkloadParams
+
+__all__ = [
+    "paper_defaults",
+    "small_system",
+    "uniform_execution_times",
+    "control_pipeline_graph",
+    "sensor_fusion_graph",
+    "engine_control_graph",
+]
+
+
+def paper_defaults(m: int = 3, **overrides) -> WorkloadParams:
+    """The paper's default configuration on an *m*-processor system."""
+    return WorkloadParams(m=m).with_overrides(**overrides)
+
+
+def small_system(**overrides) -> WorkloadParams:
+    """Two processors — the regime where ADAPT-L's gain peaks (Fig. 2)."""
+    return WorkloadParams(m=2).with_overrides(**overrides)
+
+
+def uniform_execution_times(m: int = 3, **overrides) -> WorkloadParams:
+    """ETD = 0%: all execution times identical (Fig. 4's left edge)."""
+    return WorkloadParams(m=m, etd=0.0).with_overrides(**overrides)
+
+
+def control_pipeline_graph(
+    *,
+    stages: int = 6,
+    classes: tuple[str, ...] = ("dsp", "cpu"),
+    e2e_deadline: float = 400.0,
+    rng: np.random.Generator | None = None,
+) -> TaskGraph:
+    """A sensor→filter→…→actuator control pipeline (§1 motivation).
+
+    The first and last stages model sensor/actuator tasks with *strict*
+    locality constraints: they are eligible on a single class only.  The
+    middle stages are relaxed (eligible everywhere, class-dependent
+    WCETs).
+    """
+    rng = rng or np.random.default_rng(0)
+    b = GraphBuilder(classes[0])
+    b.task("sense", {classes[0]: 8.0})
+    prev = "sense"
+    for i in range(stages):
+        wc = {c: float(rng.integers(15, 26)) for c in classes}
+        tid = f"stage{i}"
+        b.task(tid, wc).edge(prev, tid, message=2.0)
+        prev = tid
+    b.task("actuate", {classes[-1]: 6.0}).edge(prev, "actuate", message=1.0)
+    b.e2e("sense", "actuate", e2e_deadline)
+    return b.build()
+
+
+def engine_control_graph(
+    *,
+    classes: tuple[str, ...] = ("ecu", "dsp"),
+    rng: np.random.Generator | None = None,
+) -> TaskGraph:
+    """A multi-rate engine-control workload (periodic, §3.3).
+
+    Three independent single-rate loops, in the classical automotive
+    pattern: a fast fuel-injection loop (period 20), a medium
+    lambda-control loop (period 40), and a slow thermal-management loop
+    (period 80).  Each loop is a short sense→compute→actuate chain with
+    its own end-to-end deadline; the hyperperiod is 80.  Feed the graph
+    to :func:`repro.periodic.expand_multirate_graph` and schedule the
+    resulting planning cycle.
+    """
+    rng = rng or np.random.default_rng(0)
+    b = GraphBuilder(classes[0])
+    loops = (
+        ("inj", 20.0, 16.0, (2, 5)),
+        ("lam", 40.0, 32.0, (4, 9)),
+        ("thermal", 80.0, 64.0, (6, 14)),
+    )
+    for name, period, deadline, (lo, hi) in loops:
+        sense = f"{name}_sense"
+        comp = f"{name}_comp"
+        act = f"{name}_act"
+        b.task(sense, {classes[0]: float(rng.integers(1, 3))}, period=period)
+        b.task(
+            comp,
+            {c: float(rng.integers(lo, hi)) for c in classes},
+            period=period,
+        )
+        b.task(act, {classes[0]: float(rng.integers(1, 3))}, period=period)
+        b.edge(sense, comp, message=1.0).edge(comp, act, message=1.0)
+        b.e2e(sense, act, deadline)
+    return b.build()
+
+
+def sensor_fusion_graph(
+    *,
+    n_sensors: int = 4,
+    classes: tuple[str, ...] = ("cpu", "dsp"),
+    e2e_deadline: float = 300.0,
+    rng: np.random.Generator | None = None,
+) -> TaskGraph:
+    """A fan-in fusion application: N sensor chains merge, then decide.
+
+    High parallelism up front, a sequential tail — the shape where the
+    local parallel-set knowledge of ADAPT-L pays off over the global
+    average parallelism of ADAPT-G.
+    """
+    rng = rng or np.random.default_rng(0)
+    b = GraphBuilder(classes[0])
+    b.task("fuse", {c: float(rng.integers(18, 28)) for c in classes})
+    for s in range(n_sensors):
+        acq = f"acq{s}"
+        flt = f"filter{s}"
+        b.task(acq, {classes[0]: float(rng.integers(5, 12))})
+        b.task(flt, {c: float(rng.integers(15, 26)) for c in classes})
+        b.edge(acq, flt, message=3.0).edge(flt, "fuse", message=2.0)
+    b.task("decide", {c: float(rng.integers(10, 20)) for c in classes})
+    b.task("act", {classes[-1]: 5.0})
+    b.edge("fuse", "decide", message=1.0).edge("decide", "act", message=1.0)
+    for s in range(n_sensors):
+        b.e2e(f"acq{s}", "act", e2e_deadline)
+    return b.build()

@@ -1,0 +1,119 @@
+"""Unit tests for the analytical infeasibility screens."""
+
+import pytest
+
+from repro.analysis import find_infeasibility, is_certainly_infeasible
+from repro.core import DeadlineAssignment, TaskWindow, distribute_deadlines
+from repro.errors import SchedulingError
+from repro.graph import GraphBuilder, chain_graph
+from repro.system import identical_platform
+
+
+def windows(spec):
+    return DeadlineAssignment(
+        windows={tid: TaskWindow(a, d, a + d) for tid, (a, d) in spec.items()}
+    )
+
+
+class TestWindowFit:
+    def test_too_short_window_detected(self, uni2):
+        g = GraphBuilder().task("x", 10).build()
+        w = find_infeasibility(g, uni2, windows({"x": (0, 5)}))
+        assert w is not None and w.kind == "window-fit"
+
+    def test_uses_fastest_class(self):
+        from repro.system import Platform, Processor, ProcessorClass
+
+        g = GraphBuilder().task("x", {"fast": 6.0, "slow": 12.0}).build()
+        p = Platform(
+            [Processor("p1", "fast"), Processor("p2", "slow")],
+            [ProcessorClass("fast"), ProcessorClass("slow")],
+        )
+        # window of 8 fits the fast class even though slow won't
+        assert find_infeasibility(g, p, windows({"x": (0, 8)})) is None
+
+    def test_missing_window_raises(self, uni2):
+        g = GraphBuilder().task("x", 10).build()
+        with pytest.raises(SchedulingError):
+            find_infeasibility(g, uni2, windows({}))
+
+    def test_no_eligible_class(self, uni2):
+        g = GraphBuilder().task("x", {"gpu": 5.0}).build()
+        w = find_infeasibility(g, uni2, windows({"x": (0, 50)}))
+        assert w is not None and w.kind == "window-fit"
+
+
+class TestPrecedenceFit:
+    def test_chain_that_cannot_make_its_deadlines(self, uni2):
+        g = chain_graph([10, 10], e2e_deadline=50.0)
+        # each window individually fits, but the chain cannot: t1's
+        # deadline (18) precedes t0's earliest finish (10) + c (10).
+        a = windows({"t0": (0, 12), "t1": (6, 12)})
+        w = find_infeasibility(g, uni2, a)
+        assert w is not None and w.kind == "precedence-fit"
+
+    def test_feasible_chain_passes(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        assert find_infeasibility(chain3, uni2, a) is None
+
+
+class TestIntervalDemand:
+    def test_overloaded_interval_detected(self):
+        # three 10-unit tasks crammed into a 15-unit window on 1 proc
+        g = (
+            GraphBuilder()
+            .task("x", 10).task("y", 10).task("z", 10)
+            .build()
+        )
+        p = identical_platform(1)
+        a = windows({t: (0, 15) for t in ("x", "y", "z")})
+        w = find_infeasibility(g, p, a)
+        assert w is not None and w.kind == "interval-demand"
+
+    def test_same_load_fits_two_processors(self):
+        g = (
+            GraphBuilder()
+            .task("x", 10).task("y", 10).task("z", 10)
+            .build()
+        )
+        p = identical_platform(2)
+        a = windows({t: (0, 15) for t in ("x", "y", "z")})
+        assert find_infeasibility(g, p, a) is None
+
+    def test_staggered_windows_checked_pairwise(self):
+        # overload hides in an inner interval [10, 20]
+        g = (
+            GraphBuilder()
+            .task("a", 8).task("b", 8).task("c", 8)
+            .build()
+        )
+        p = identical_platform(1)
+        a = windows({"a": (0, 30), "b": (10, 10), "c": (12, 8)})
+        w = find_infeasibility(g, p, a)
+        assert w is not None and w.kind == "interval-demand"
+
+
+class TestAgainstExactSearch:
+    def test_witness_implies_bnb_infeasible(self):
+        """Soundness: the screen may only fire when B&B proves infeasible."""
+        from repro.core import distribute_deadlines
+        from repro.rng import make_rng
+        from repro.sched import BnbStatus, schedule_branch_and_bound
+        from repro.workload import WorkloadParams, generate_workload
+
+        params = WorkloadParams(
+            m=2, n_tasks_range=(8, 12), depth_range=(3, 5), olr=0.55
+        )
+        fired = 0
+        for seed in range(15):
+            wl = generate_workload(params, make_rng(seed))
+            a = distribute_deadlines(wl.graph, wl.platform, "PURE")
+            if is_certainly_infeasible(wl.graph, wl.platform, a):
+                fired += 1
+                result = schedule_branch_and_bound(
+                    wl.graph, wl.platform, a, node_budget=150_000
+                )
+                assert result.status is BnbStatus.INFEASIBLE
+        # The regime is tight enough that the screen fires sometimes;
+        # if this stops holding after recalibration, loosen the OLR.
+        assert fired >= 1

@@ -1,0 +1,87 @@
+"""Unit tests for paired comparisons and the exact sign test."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    PairedComparison,
+    paired_comparison,
+    sign_test_p_value,
+)
+from repro.errors import ExperimentError
+from repro.experiments import TrialConfig
+from repro.experiments.runner import _cell_seeds
+from repro.workload import WorkloadParams
+
+FAST = WorkloadParams(m=3, n_tasks_range=(12, 16), depth_range=(4, 6))
+
+
+class TestSignTest:
+    def test_no_discordance_is_uninformative(self):
+        assert sign_test_p_value(0, 0) == 1.0
+
+    def test_balanced_split_not_significant(self):
+        assert sign_test_p_value(5, 5) > 0.5
+
+    def test_extreme_split_significant(self):
+        assert sign_test_p_value(10, 0) < 0.01
+
+    def test_known_value(self):
+        # 8 vs 2 discordant: p = 2 * sum_{i<=2} C(10,i) / 2^10 = 0.109375
+        assert sign_test_p_value(8, 2) == pytest.approx(0.109375)
+
+    def test_symmetric(self):
+        assert sign_test_p_value(7, 3) == sign_test_p_value(3, 7)
+
+    def test_bounded_by_one(self):
+        for a in range(6):
+            for b in range(6):
+                assert 0.0 <= sign_test_p_value(a, b) <= 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sign_test_p_value(-1, 2)
+
+
+class TestPairedComparison:
+    def test_ratios_consistent(self):
+        pc = PairedComparison("A", "B", 10, both_succeed=4, both_fail=2,
+                              only_a=3, only_b=1)
+        assert pc.ratio_a == pytest.approx(0.7)
+        assert pc.ratio_b == pytest.approx(0.5)
+        assert pc.discordant == 4
+        assert 0.0 <= pc.p_value <= 1.0
+        assert "A" in pc.summary() and "p=" in pc.summary()
+
+    def test_identical_configs_fully_concordant(self):
+        config = TrialConfig(workload=FAST, metric="PURE")
+        seeds = _cell_seeds(3, 0, 12)
+        pc = paired_comparison(config, config, seeds)
+        assert pc.discordant == 0
+        assert pc.p_value == 1.0
+
+    def test_etd_zero_equivalence_is_concordant(self):
+        params = FAST.with_overrides(etd=0.0)
+        a = TrialConfig(workload=params, metric="PURE")
+        b = TrialConfig(workload=params, metric="ADAPT-G")
+        pc = paired_comparison(a, b, _cell_seeds(4, 0, 12))
+        assert pc.discordant == 0  # identical distributions per graph
+
+    def test_differing_workloads_rejected(self):
+        a = TrialConfig(workload=FAST)
+        b = TrialConfig(workload=FAST.with_overrides(m=4))
+        with pytest.raises(ExperimentError):
+            paired_comparison(a, b, [1, 2])
+
+    def test_empty_seeds_rejected(self):
+        config = TrialConfig(workload=FAST)
+        with pytest.raises(ExperimentError):
+            paired_comparison(config, config, [])
+
+    def test_adapt_l_vs_pure_directionally_positive(self):
+        params = FAST.with_overrides(olr=0.65)
+        a = TrialConfig(workload=params, metric="ADAPT-L")
+        b = TrialConfig(workload=params, metric="PURE")
+        pc = paired_comparison(a, b, _cell_seeds(9, 0, 40))
+        assert pc.only_a >= pc.only_b  # ADAPT-L never behind overall

@@ -1,0 +1,32 @@
+"""Unit tests for ASCII charts."""
+
+import pytest
+
+from repro.analysis import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart([2, 3, 4], {"A": [0.1, 0.5, 1.0]})
+        assert "o=A" in out
+        assert "1.00 |" in out
+        assert "0.00 |" in out
+
+    def test_multiple_series_get_distinct_marks(self):
+        out = ascii_chart([1], {"A": [0.2], "B": [0.8]})
+        assert "o=A" in out and "x=B" in out
+
+    def test_values_clipped(self):
+        out = ascii_chart([1], {"A": [5.0]})  # clipped to y_max
+        assert "o" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"A": [0.5]})
+
+    def test_empty_x(self):
+        assert ascii_chart([], {}) == "(no data)"
+
+    def test_min_height_enforced(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"A": [0.5]}, height=1)

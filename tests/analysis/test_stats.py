@@ -1,0 +1,70 @@
+"""Unit tests for success-ratio statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis import BinomialEstimate, mean_std, wilson_interval
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        for s, n in ((0, 10), (5, 10), (10, 10), (512, 1024)):
+            lo, hi = wilson_interval(s, n)
+            assert lo <= s / n <= hi
+
+    def test_bounded_by_unit_interval(self):
+        for s, n in ((0, 3), (3, 3), (1, 1000)):
+            lo, hi = wilson_interval(s, n)
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_narrows_with_sample_size(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_empty_sample_uninformative(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_invalid_sample_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_known_value(self):
+        # classic check: 8/10 with z=1.96 -> approx (0.490, 0.943)
+        lo, hi = wilson_interval(8, 10)
+        assert lo == pytest.approx(0.490, abs=0.005)
+        assert hi == pytest.approx(0.943, abs=0.005)
+
+
+class TestBinomialEstimate:
+    def test_ratio(self):
+        assert BinomialEstimate(3, 4).ratio == 0.75
+        assert BinomialEstimate(0, 0).ratio == 0.0
+
+    def test_merge_pools_samples(self):
+        merged = BinomialEstimate(2, 5).merged(BinomialEstimate(3, 5))
+        assert merged == BinomialEstimate(5, 10)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            BinomialEstimate(5, 4)
+
+    def test_str_contains_fraction(self):
+        assert "(3/4)" in str(BinomialEstimate(3, 4))
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == 2.0
+        assert std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+
+    def test_empty(self):
+        mean, std = mean_std([])
+        assert math.isnan(mean) and math.isnan(std)

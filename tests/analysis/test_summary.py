@@ -1,0 +1,59 @@
+"""Unit tests for workload summaries."""
+
+import math
+
+import pytest
+
+from repro.analysis import format_summary, summarize_workload
+from repro.graph import chain_graph, diamond_graph
+
+
+class TestSummarizeWorkload:
+    def test_chain(self):
+        g = chain_graph([10, 20, 30], e2e_deadline=90.0)
+        s = summarize_workload(g)
+        assert s.n_tasks == 3
+        assert s.n_edges == 2
+        assert s.depth == 3
+        assert s.level_widths == (1, 1, 1)
+        assert s.total_workload == 60.0
+        assert s.longest_path == 60.0
+        assert s.parallelism == pytest.approx(1.0)
+        assert s.n_inputs == s.n_outputs == 1
+        assert s.olr_estimate == pytest.approx(1.5)
+
+    def test_diamond_widths(self):
+        g = diamond_graph(e2e_deadline=60.0)
+        s = summarize_workload(g)
+        assert s.level_widths == (1, 2, 1)
+        assert s.max_width == 2
+        assert s.parallelism == pytest.approx(40.0 / 30.0)
+
+    def test_platform_awareness(self, hetero_graph, hetero_platform):
+        s = summarize_workload(hetero_graph, hetero_platform)
+        assert s.m == 3 and s.m_e == 2
+        # task c is slow-only: one ineligible (task, class) pair
+        assert s.ineligible_pairs == 1
+
+    def test_no_deadline_gives_nan_olr(self):
+        g = chain_graph([10, 10])
+        assert math.isnan(summarize_workload(g).olr_estimate)
+
+    def test_generated_workload_summary(self):
+        from repro.rng import make_rng
+        from repro.workload import WorkloadParams, generate_workload
+
+        wl = generate_workload(WorkloadParams(m=3), make_rng(0))
+        s = summarize_workload(wl.graph, wl.platform)
+        assert 40 <= s.n_tasks <= 60
+        assert 8 <= s.depth <= 12
+        assert sum(s.level_widths) == s.n_tasks
+        assert s.olr_estimate == pytest.approx(0.8, abs=1e-6)
+
+
+class TestFormatSummary:
+    def test_renders(self, hetero_graph, hetero_platform):
+        out = format_summary(summarize_workload(hetero_graph, hetero_platform))
+        assert "avg parallelism" in out
+        assert "processors (m)" in out
+        assert "observed OLR" in out

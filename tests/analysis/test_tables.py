@@ -1,0 +1,35 @@
+"""Unit tests for table formatting."""
+
+import pytest
+
+from repro.analysis import format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["abc", 1], ["d", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_floats_formatted(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestMarkdown:
+    def test_structure(self):
+        out = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])

@@ -1,0 +1,91 @@
+"""Shared fixtures: canonical small graphs and platforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import GraphBuilder, TaskGraph
+from repro.system import (
+    Platform,
+    Processor,
+    ProcessorClass,
+    SharedBus,
+    identical_platform,
+)
+
+
+@pytest.fixture
+def chain3() -> TaskGraph:
+    """a(10) -> b(20) -> c(15), E-T-E deadline 90."""
+    return (
+        GraphBuilder()
+        .task("a", 10)
+        .task("b", 20)
+        .task("c", 15)
+        .edge("a", "b")
+        .edge("b", "c")
+        .e2e("a", "c", 90)
+        .build()
+    )
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    """top -> {left, right} -> bottom, uniform 10s, deadline 60."""
+    return (
+        GraphBuilder()
+        .task("top", 10)
+        .task("left", 10)
+        .task("right", 10)
+        .task("bottom", 10)
+        .edge("top", "left")
+        .edge("top", "right")
+        .edge("left", "bottom")
+        .edge("right", "bottom")
+        .e2e("top", "bottom", 60)
+        .build()
+    )
+
+
+@pytest.fixture
+def hetero_graph() -> TaskGraph:
+    """Three tasks with per-class WCETs over classes fast/slow."""
+    return (
+        GraphBuilder()
+        .task("a", {"fast": 8.0, "slow": 12.0})
+        .task("b", {"fast": 16.0, "slow": 24.0})
+        .task("c", {"slow": 10.0})
+        .edge("a", "b", message=2.0)
+        .edge("b", "c", message=1.0)
+        .e2e("a", "c", 120)
+        .build()
+    )
+
+
+@pytest.fixture
+def uni2() -> Platform:
+    """Two identical processors on the paper's shared bus."""
+    return identical_platform(2)
+
+
+@pytest.fixture
+def uni3() -> Platform:
+    """Three identical processors."""
+    return identical_platform(3)
+
+
+@pytest.fixture
+def hetero_platform() -> Platform:
+    """Two classes (fast/slow), three processors, shared bus."""
+    return Platform(
+        processors=[
+            Processor("p1", "fast"),
+            Processor("p2", "slow"),
+            Processor("p3", "slow"),
+        ],
+        classes=[
+            ProcessorClass("fast", speed_factor=1.5),
+            ProcessorClass("slow", speed_factor=1.0),
+        ],
+        comm=SharedBus(1.0),
+    )

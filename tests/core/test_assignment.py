@@ -1,0 +1,93 @@
+"""Unit tests for DeadlineAssignment and its invariants (§4.1–4.2)."""
+
+import pytest
+
+from repro.core import DeadlineAssignment, TaskWindow, distribute_deadlines
+from repro.errors import DistributionError
+
+
+def manual(windows):
+    return DeadlineAssignment(
+        windows={
+            tid: TaskWindow(a, d, a + d) for tid, (a, d) in windows.items()
+        }
+    )
+
+
+class TestAccessors:
+    def test_window_queries(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        w = a.window("b")
+        assert w.arrival == a.arrival("b")
+        assert w.length == pytest.approx(a.relative_deadline("b"))
+        assert "b" in a and len(a) == 3
+
+    def test_unassigned_task_raises(self):
+        with pytest.raises(DistributionError):
+            manual({}).window("zzz")
+
+    def test_laxity(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        est = {"a": 10.0, "b": 20.0, "c": 15.0}
+        # PURE gives everyone laxity R = 15
+        for tid in chain3.task_ids():
+            assert a.laxity(tid, est) == pytest.approx(15.0)
+        assert a.min_laxity(est) == pytest.approx(15.0)
+
+    def test_min_laxity_empty_raises(self):
+        with pytest.raises(DistributionError):
+            manual({}).min_laxity({})
+
+
+class TestViolations:
+    def test_clean_assignment_passes(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "NORM")
+        assert a.violations(chain3) == []
+        a.verify(chain3)  # must not raise
+        assert a.path_constraint_satisfied(chain3)
+
+    def test_missing_task_detected(self, chain3):
+        a = manual({"a": (0, 10), "b": (10, 20)})  # c missing
+        assert any("no assigned window" in v for v in a.violations(chain3))
+
+    def test_overlap_detected(self, chain3):
+        a = manual({"a": (0, 30), "b": (20, 20), "c": (40, 20)})
+        msgs = a.violations(chain3)
+        assert any("overlap" in v for v in msgs)
+
+    def test_negative_deadline_detected(self, chain3):
+        a = manual({"a": (0, 10), "b": (10, 20), "c": (30, 10)})
+        a.windows["c"] = TaskWindow(30.0, -5.0, 25.0)
+        assert any("negative" in v for v in a.violations(chain3))
+
+    def test_phasing_violation_detected(self, uni2):
+        from repro.graph import GraphBuilder
+
+        g = (
+            GraphBuilder()
+            .task("a", 10, phasing=5.0).task("b", 10)
+            .edge("a", "b").e2e("a", "b", 50)
+            .build()
+        )
+        a = manual({"a": (0, 10), "b": (10, 10)})  # starts before phasing
+        assert any("phasing" in v for v in a.violations(g))
+
+    def test_e2e_bound_violation_detected(self, chain3):
+        a = manual({"a": (0, 30), "b": (30, 30), "c": (60, 40)})  # D_c = 100 > 90
+        assert any("E-T-E bound" in v for v in a.violations(chain3))
+
+    def test_verify_raises_with_summary(self, chain3):
+        a = manual({"a": (0, 30), "b": (20, 20), "c": (40, 60)})
+        with pytest.raises(DistributionError):
+            a.verify(chain3)
+
+
+class TestSerialization:
+    def test_round_trip(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "ADAPT-L")
+        b = DeadlineAssignment.from_dict(a.to_dict())
+        assert b.metric_name == a.metric_name
+        assert b.degenerate == a.degenerate
+        assert b.paths == a.paths
+        for tid in chain3.task_ids():
+            assert b.window(tid) == a.window(tid)

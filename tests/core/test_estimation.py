@@ -1,0 +1,75 @@
+"""Unit tests for WCET estimation strategies (§5.3, eqs. 9–11)."""
+
+import pytest
+
+from repro.core import (
+    WCET_AVG,
+    WCET_MAX,
+    WCET_MIN,
+    estimate_map,
+    get_estimator,
+)
+from repro.errors import EligibilityError
+from repro.graph import Task
+
+
+@pytest.fixture
+def task():
+    return Task(id="t", wcet={"e1": 10.0, "e2": 20.0, "e3": 30.0})
+
+
+class TestStrategies:
+    def test_avg_eq9(self, task):
+        assert WCET_AVG.estimate(task) == 20.0
+
+    def test_max_eq10(self, task):
+        assert WCET_MAX.estimate(task) == 30.0
+
+    def test_min_eq11(self, task):
+        assert WCET_MIN.estimate(task) == 10.0
+
+
+class TestPlatformAwareness:
+    def test_excludes_uninstantiated_classes(self, task, hetero_platform):
+        # hetero_platform instantiates fast/slow only; the task is only
+        # eligible on e1..e3 -> no usable class.
+        with pytest.raises(EligibilityError):
+            WCET_AVG.estimate(task, hetero_platform)
+
+    def test_uses_only_platform_classes(self, hetero_platform):
+        t = Task(id="t", wcet={"fast": 10.0, "slow": 20.0, "gpu": 90.0})
+        # gpu is not on the platform, so it must not enter the average.
+        assert WCET_AVG.estimate(t, hetero_platform) == 15.0
+        assert WCET_MAX.estimate(t, hetero_platform) == 20.0
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("WCET-AVG", WCET_AVG),
+            ("wcet-max", WCET_MAX),
+            ("MIN", WCET_MIN),
+        ],
+    )
+    def test_lookup(self, name, expected):
+        assert get_estimator(name) is expected
+
+    def test_instance_passthrough(self):
+        assert get_estimator(WCET_MAX) is WCET_MAX
+
+    def test_unknown_rejected(self):
+        with pytest.raises(EligibilityError):
+            get_estimator("WCET-MEDIAN")
+
+
+class TestEstimateMap:
+    def test_covers_all_tasks(self, hetero_graph):
+        est = estimate_map(hetero_graph, "WCET-AVG")
+        assert set(est) == {"a", "b", "c"}
+        assert est["a"] == 10.0
+        assert est["c"] == 10.0
+
+    def test_strategy_changes_values(self, hetero_graph):
+        assert estimate_map(hetero_graph, "WCET-MAX")["a"] == 12.0
+        assert estimate_map(hetero_graph, "WCET-MIN")["a"] == 8.0

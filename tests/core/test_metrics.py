@@ -1,0 +1,191 @@
+"""Unit tests for the critical-path metrics (§4.5, eqs. 2–8)."""
+
+import pytest
+
+from repro.core import (
+    METRIC_NAMES,
+    AdaptGMetric,
+    AdaptLMetric,
+    AdaptiveParams,
+    NormMetric,
+    PureMetric,
+    get_metric,
+    virtual_times_global,
+    virtual_times_local,
+)
+from repro.errors import MetricError
+from repro.graph import GraphBuilder, chain_graph
+from repro.system import identical_platform
+
+
+@pytest.fixture
+def est():
+    return {"a": 10.0, "b": 20.0, "c": 30.0}
+
+
+@pytest.fixture
+def chain():
+    g = chain_graph([10.0, 20.0, 30.0])
+    # rename to a/b/c for readability via a fresh build
+    return (
+        GraphBuilder()
+        .task("a", 10).task("b", 20).task("c", 30)
+        .edge("a", "b").edge("b", "c")
+        .e2e("a", "c", 120)
+        .build()
+    )
+
+
+class TestNorm:
+    def test_ratio_eq2(self, chain, est):
+        m = NormMetric()
+        state = m.prepare(chain, est, identical_platform(2))
+        # R = (120 - 60) / 60 = 1.0
+        assert m.ratio(120.0, ["a", "b", "c"], state) == pytest.approx(1.0)
+
+    def test_deadlines_eq3_proportional(self, chain, est):
+        m = NormMetric()
+        state = m.prepare(chain, est, identical_platform(2))
+        d = m.deadlines(120.0, ["a", "b", "c"], state)
+        assert d == {"a": 20.0, "b": 40.0, "c": 60.0}
+        assert sum(d.values()) == pytest.approx(120.0)
+
+    def test_zero_workload_rejected(self, chain):
+        m = NormMetric()
+        state = m.prepare(chain, {"a": 1.0, "b": 1.0, "c": 1.0},
+                          identical_platform(2))
+        with pytest.raises(MetricError):
+            m.ratio(10.0, [], state)
+
+
+class TestPure:
+    def test_ratio_eq4(self, chain, est):
+        m = PureMetric()
+        state = m.prepare(chain, est, identical_platform(2))
+        # R = (120 - 60) / 3 = 20
+        assert m.ratio(120.0, ["a", "b", "c"], state) == pytest.approx(20.0)
+
+    def test_deadlines_eq5_equal_share(self, chain, est):
+        m = PureMetric()
+        state = m.prepare(chain, est, identical_platform(2))
+        d = m.deadlines(120.0, ["a", "b", "c"], state)
+        assert d == {"a": 30.0, "b": 40.0, "c": 50.0}
+        assert sum(d.values()) == pytest.approx(120.0)
+
+    def test_negative_laxity_passthrough(self, chain, est):
+        # Window below the workload: R < 0, shares may dip below c̄.
+        m = PureMetric()
+        state = m.prepare(chain, est, identical_platform(2))
+        d = m.deadlines(30.0, ["a", "b", "c"], state)
+        assert sum(d.values()) == pytest.approx(30.0)
+        assert d["a"] == pytest.approx(0.0)
+
+
+class TestVirtualTimes:
+    def test_eq6_global(self):
+        est = {"small": 10.0, "big": 30.0}
+        virt = virtual_times_global(
+            est, xi=4.0, m=2, k_g=1.5, c_thres=20.0
+        )
+        assert virt["small"] == 10.0  # below threshold: untouched
+        assert virt["big"] == pytest.approx(30.0 * (1 + 1.5 * 4.0 / 2))
+
+    def test_eq6_threshold_is_inclusive(self):
+        virt = virtual_times_global(
+            {"t": 20.0}, xi=1.0, m=1, k_g=1.0, c_thres=20.0
+        )
+        assert virt["t"] == pytest.approx(40.0)  # c̄ >= c_thres inflates
+
+    def test_eq8_local(self):
+        est = {"a": 30.0, "b": 30.0}
+        virt = virtual_times_local(
+            est,
+            parallel_set_sizes={"a": 6, "b": 0},
+            m=3,
+            k_l=0.5,
+            c_thres=20.0,
+        )
+        assert virt["a"] == pytest.approx(30.0 * (1 + 0.5 * 6 / 3))
+        assert virt["b"] == pytest.approx(30.0)  # no parallelism, no surplus
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(MetricError):
+            virtual_times_global({}, xi=1.0, m=0, k_g=1.0, c_thres=1.0)
+
+
+class TestAdaptiveParams:
+    def test_threshold_from_factor(self):
+        p = AdaptiveParams(c_thres_factor=1.0)
+        assert p.threshold({"a": 10.0, "b": 30.0}) == pytest.approx(20.0)
+
+    def test_absolute_threshold_overrides(self):
+        p = AdaptiveParams(c_thres=5.0, c_thres_factor=99.0)
+        assert p.threshold({"a": 10.0}) == 5.0
+
+    def test_empty_estimates_rejected(self):
+        with pytest.raises(MetricError):
+            AdaptiveParams().threshold({})
+
+
+class TestAdaptG:
+    def test_prepare_uses_graph_parallelism(self, chain, est):
+        # chain: xi = 1, so surplus = k_g * 1 / m
+        m = AdaptGMetric(AdaptiveParams(k_g=1.5, c_thres=15.0))
+        state = m.prepare(chain, est, identical_platform(3))
+        assert state.weights["a"] == 10.0  # below threshold
+        assert state.weights["b"] == pytest.approx(20.0 * 1.5)
+        assert state.weights["c"] == pytest.approx(30.0 * 1.5)
+
+    def test_deadlines_use_virtual_times(self, chain, est):
+        m = AdaptGMetric(AdaptiveParams(k_g=1.5, c_thres=15.0))
+        state = m.prepare(chain, est, identical_platform(3))
+        d = m.deadlines(120.0, ["a", "b", "c"], state)
+        assert sum(d.values()) == pytest.approx(120.0)
+        # inflated tasks keep their surplus ordering
+        assert d["c"] > d["b"] > d["a"]
+
+
+class TestAdaptL:
+    def test_chain_has_no_surplus(self, chain, est):
+        # Parallel sets are empty on a chain: ADAPT-L == PURE weights.
+        m = AdaptLMetric(AdaptiveParams(k_l=0.2, c_thres=0.0))
+        state = m.prepare(chain, est, identical_platform(2))
+        assert state.weights == est
+
+    def test_diamond_branches_get_surplus(self, diamond):
+        est = {t: 10.0 for t in diamond.task_ids()}
+        m = AdaptLMetric(AdaptiveParams(k_l=0.6, c_thres=0.0))
+        state = m.prepare(diamond, est, identical_platform(2))
+        # |Psi| = 1 for left/right, 0 for top/bottom
+        assert state.weights["left"] == pytest.approx(10.0 * (1 + 0.6 / 2))
+        assert state.weights["top"] == 10.0
+
+
+class TestRegistry:
+    def test_names(self):
+        assert METRIC_NAMES == ("PURE", "NORM", "ADAPT-G", "ADAPT-L")
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("PURE", PureMetric),
+            ("norm", NormMetric),
+            ("adapt-g", AdaptGMetric),
+            ("ADAPT_L", AdaptLMetric),
+            ("adaptl", AdaptLMetric),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(get_metric(name), cls)
+
+    def test_params_forwarded(self):
+        m = get_metric("ADAPT-G", AdaptiveParams(k_g=9.0))
+        assert m.params.k_g == 9.0
+
+    def test_instance_passthrough(self):
+        m = PureMetric()
+        assert get_metric(m) is m
+
+    def test_unknown_rejected(self):
+        with pytest.raises(MetricError):
+            get_metric("MAGIC")

@@ -1,0 +1,73 @@
+"""Unit tests for window quantization (§3.1 discrete time units)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeadlineAssignment, TaskWindow, distribute_deadlines
+from repro.errors import DistributionError
+from repro.system import identical_platform
+
+from ..property.strategies import dag_with_deadline
+
+
+class TestQuantized:
+    def test_snaps_to_integers(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "ADAPT-L")
+        q = a.quantized()
+        for tid in chain3.task_ids():
+            w = q.window(tid)
+            assert w.arrival == int(w.arrival)
+            assert w.absolute_deadline == int(w.absolute_deadline)
+            assert w.relative_deadline >= 0.0
+
+    def test_invariants_preserved(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "NORM")
+        q = a.quantized()
+        assert q.violations(chain3) == []
+
+    def test_deadlines_never_move_later(self, diamond, uni2):
+        a = distribute_deadlines(diamond, uni2, "PURE")
+        q = a.quantized()
+        for tid in diamond.task_ids():
+            assert (
+                q.absolute_deadline(tid) <= a.absolute_deadline(tid) + 1e-9
+            )
+
+    def test_custom_unit(self):
+        a = DeadlineAssignment(
+            windows={"x": TaskWindow(3.7, 6.0, 9.7)}
+        )
+        q = a.quantized(unit=0.5)
+        assert q.arrival("x") == 3.5
+        assert q.absolute_deadline("x") == 9.5
+
+    def test_grid_values_stable(self):
+        # values already on the grid must not move (epsilon guard)
+        a = DeadlineAssignment(windows={"x": TaskWindow(3.0, 4.0, 7.0)})
+        q = a.quantized()
+        assert q.window("x") == a.window("x")
+
+    def test_invalid_unit_rejected(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        with pytest.raises(DistributionError):
+            a.quantized(unit=0.0)
+
+    def test_provenance_kept(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "ADAPT-G")
+        q = a.quantized()
+        assert q.metric_name == "ADAPT-G"
+        assert q.paths == a.paths
+
+
+@given(dag_with_deadline(), st.sampled_from(["PURE", "NORM", "ADAPT-L"]))
+@settings(max_examples=50, deadline=None)
+def test_quantization_preserves_invariants(graph, metric):
+    platform = identical_platform(2)
+    a = distribute_deadlines(graph, platform, metric)
+    q = a.quantized()
+    for tid in graph.task_ids():
+        w = q.window(tid)
+        assert w.relative_deadline >= -1e-9
+    if not a.degenerate:
+        assert q.violations(graph) == []

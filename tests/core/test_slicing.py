@@ -1,0 +1,191 @@
+"""Unit tests for Algorithm SLICING (Fig. 1) and boundary projection."""
+
+import pytest
+
+from repro.core import distribute_deadlines
+from repro.core.slicing import _project_boundaries
+from repro.errors import DistributionError
+from repro.graph import GraphBuilder, chain_graph, fork_join_graph
+from repro.system import identical_platform
+
+
+class TestChainDistribution:
+    """On a pure chain every metric's arithmetic is exactly checkable."""
+
+    def test_pure_equal_share(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        # R = (90 - 45)/3 = 15 -> d = c + 15
+        assert a.relative_deadline("a") == pytest.approx(25.0)
+        assert a.relative_deadline("b") == pytest.approx(35.0)
+        assert a.relative_deadline("c") == pytest.approx(30.0)
+        assert a.arrival("a") == 0.0
+        assert a.arrival("b") == pytest.approx(25.0)
+        assert a.absolute_deadline("c") == pytest.approx(90.0)
+
+    def test_norm_proportional_share(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "NORM")
+        # R = (90-45)/45 = 1 -> d = 2c
+        assert a.relative_deadline("a") == pytest.approx(20.0)
+        assert a.relative_deadline("b") == pytest.approx(40.0)
+        assert a.relative_deadline("c") == pytest.approx(30.0)
+
+    def test_chain_adaptl_equals_pure(self, chain3, uni2):
+        # Chains have empty parallel sets: ADAPT-L degenerates to PURE.
+        pure = distribute_deadlines(chain3, uni2, "PURE")
+        adl = distribute_deadlines(chain3, uni2, "ADAPT-L")
+        for tid in chain3.task_ids():
+            assert adl.relative_deadline(tid) == pytest.approx(
+                pure.relative_deadline(tid)
+            )
+
+    def test_windows_chain_contiguously(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        assert a.absolute_deadline("a") == a.arrival("b")
+        assert a.absolute_deadline("b") == a.arrival("c")
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("metric", ["PURE", "NORM", "ADAPT-G", "ADAPT-L"])
+    def test_no_violations_on_fork_join(self, metric, uni2):
+        g = fork_join_graph(
+            [[10, 20], [30], [5, 5, 5]], e2e_deadline=150.0
+        )
+        a = distribute_deadlines(g, uni2, metric)
+        assert not a.degenerate
+        assert a.violations(g) == []
+
+    def test_every_task_gets_a_window(self, diamond, uni2):
+        a = distribute_deadlines(diamond, uni2, "PURE")
+        assert set(a.windows) == set(diamond.task_ids())
+
+    def test_provenance_recorded(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "ADAPT-L", estimator="WCET-MAX")
+        assert a.metric_name == "ADAPT-L"
+        assert a.estimator_name == "WCET-MAX"
+        assert a.paths  # the selected paths are traced
+
+    def test_phased_input_starts_at_phasing(self, uni2):
+        g = (
+            GraphBuilder()
+            .task("a", 10, phasing=5.0).task("b", 10)
+            .edge("a", "b").e2e("a", "b", 50)
+            .build()
+        )
+        a = distribute_deadlines(g, uni2, "PURE")
+        assert a.arrival("a") == 5.0
+        # output deadline bound = phasing + D = 55
+        assert a.absolute_deadline("b") == pytest.approx(55.0)
+
+
+class TestDegenerateCases:
+    def test_infeasible_window_shows_negative_laxity(self, uni2):
+        # Window below the workload but shares stay positive: not
+        # structurally degenerate, yet laxity exposes the infeasibility.
+        g = chain_graph([30, 30, 30], e2e_deadline=10.0)
+        a = distribute_deadlines(g, uni2, "PURE")
+        est = {tid: 30.0 for tid in g.task_ids()}
+        assert a.min_laxity(est) < 0.0
+        for tid in g.task_ids():
+            assert a.relative_deadline(tid) >= 0.0
+
+    def test_negative_share_flags_degenerate(self, uni2):
+        # Mixed sizes under an impossible window: PURE's equal share
+        # drives the small task's deadline negative -> clamp + flag.
+        g = chain_graph([5, 50], e2e_deadline=10.0)
+        a = distribute_deadlines(g, uni2, "PURE")
+        assert a.degenerate
+        for tid in g.task_ids():
+            assert a.relative_deadline(tid) >= 0.0
+
+    def test_missing_e2e_deadline_raises(self, uni2):
+        g = chain_graph([10, 10])  # no deadline attached
+        with pytest.raises(DistributionError):
+            distribute_deadlines(g, uni2, "PURE")
+
+    def test_empty_graph_raises(self, uni2):
+        from repro.graph import TaskGraph
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            distribute_deadlines(TaskGraph(), uni2, "PURE")
+
+
+class TestMultiPath:
+    def test_diamond_branches_fit_between_spine(self, diamond, uni2):
+        a = distribute_deadlines(diamond, uni2, "PURE")
+        assert a.violations(diamond) == []
+        # Both branches must sit inside [D_top, a_bottom].
+        for side in ("left", "right"):
+            assert a.arrival(side) >= a.absolute_deadline("top") - 1e-9
+            assert a.absolute_deadline(side) <= a.arrival("bottom") + 1e-9
+
+    def test_sandwiched_bypass_gets_room(self, uni2):
+        # s -> x -> t plus shortcut s -> t: x must fit between the
+        # boundaries even though s and t may land in one path first.
+        g = (
+            GraphBuilder()
+            .task("s", 10).task("x", 10).task("t", 10)
+            .edge("s", "x").edge("x", "t").edge("s", "t")
+            .e2e("s", "t", 90)
+            .build()
+        )
+        a = distribute_deadlines(g, uni2, "PURE")
+        assert a.violations(g) == []
+        assert a.relative_deadline("x") > 0.0
+
+
+class TestBoundaryProjection:
+    def test_unconstrained_keeps_shares(self):
+        b, ok = _project_boundaries(
+            ("a", "b"), 0.0, 30.0, [10.0, 20.0], {}, {}
+        )
+        assert ok
+        assert b == [0.0, 10.0, 30.0]
+
+    def test_interior_arrival_pin_raises_boundary(self):
+        b, ok = _project_boundaries(
+            ("a", "b"), 0.0, 30.0, [10.0, 20.0], {"b": 15.0}, {}
+        )
+        assert ok
+        assert b[1] == 15.0  # b cannot arrive before its pin
+
+    def test_interior_deadline_pin_caps_boundary(self):
+        b, ok = _project_boundaries(
+            ("a", "b"), 0.0, 30.0, [20.0, 10.0], {}, {"a": 12.0}
+        )
+        assert ok
+        assert b[1] == 12.0  # a must finish by its pin
+
+    def test_negative_share_clamped_and_flagged(self):
+        b, ok = _project_boundaries(
+            ("a", "b"), 0.0, 10.0, [-5.0, 15.0], {}, {}
+        )
+        assert not ok
+        assert b[0] == 0.0 and b[2] == 10.0
+        assert b[1] >= 0.0
+
+    def test_negative_window_collapses_monotonically(self):
+        b, ok = _project_boundaries(
+            ("a", "b"), 20.0, 10.0, [5.0, 5.0], {}, {}
+        )
+        assert not ok
+        assert b[0] <= b[1] <= b[2]
+
+    def test_conflicting_pins_flagged(self):
+        # arrival pin of b after deadline pin of a: infeasible sandwich
+        b, ok = _project_boundaries(
+            ("a", "b"), 0.0, 30.0, [15.0, 15.0], {"b": 25.0}, {"a": 5.0}
+        )
+        assert not ok
+        assert b[0] <= b[1] <= b[2]
+
+    def test_boundaries_always_monotone(self):
+        b, _ = _project_boundaries(
+            ("a", "b", "c"),
+            0.0,
+            10.0,
+            [30.0, -20.0, 0.0],
+            {"b": 9.0},
+            {"b": 2.0},
+        )
+        assert all(x <= y + 1e-9 for x, y in zip(b, b[1:]))

@@ -1,0 +1,112 @@
+"""Unit tests for the WCET-AUTO strategy (§6.4 operationalized)."""
+
+import pytest
+
+from repro.core import WCET_AUTO, WCET_AVG, WCET_MAX, WcetAuto, estimate_map, get_estimator
+from repro.errors import EligibilityError
+from repro.graph import GraphBuilder
+from repro.rng import make_rng
+from repro.workload import WorkloadParams, generate_task_graph
+
+
+def uniform_graph():
+    """All execution times identical: spread 0."""
+    return (
+        GraphBuilder()
+        .task("a", {"e1": 20.0, "e2": 20.0})
+        .task("b", {"e1": 20.0, "e2": 20.0})
+        .edge("a", "b")
+        .build()
+    )
+
+
+def spread_graph():
+    """Wildly varying execution times: spread >> 1."""
+    return (
+        GraphBuilder()
+        .task("a", {"e1": 2.0, "e2": 6.0})
+        .task("b", {"e1": 30.0, "e2": 60.0})
+        .edge("a", "b")
+        .build()
+    )
+
+
+class TestSpreadMeasure:
+    def test_zero_for_uniform(self):
+        assert WcetAuto.spread(uniform_graph()) == 0.0
+
+    def test_large_for_spread(self):
+        assert WcetAuto.spread(spread_graph()) > 1.0
+
+    def test_tracks_etd(self):
+        rng = make_rng(0)
+        narrow = generate_task_graph(
+            WorkloadParams(m=3, etd=0.0), rng, ["e1", "e2"]
+        )
+        wide = generate_task_graph(
+            WorkloadParams(m=3, etd=1.0), rng, ["e1", "e2"]
+        )
+        assert WcetAuto.spread(narrow) < WcetAuto.spread(wide)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph import TaskGraph
+
+        with pytest.raises(EligibilityError):
+            WcetAuto.spread(TaskGraph())
+
+
+class TestDelegation:
+    def test_uniform_delegates_to_max(self):
+        g = (
+            GraphBuilder()
+            .task("a", {"e1": 18.0, "e2": 22.0})
+            .build()
+        )
+        est = estimate_map(g, WCET_AUTO)
+        assert est["a"] == WCET_MAX.estimate(g.task("a"))
+
+    def test_wide_spread_delegates_to_avg(self):
+        g = spread_graph()
+        est = estimate_map(g, WCET_AUTO)
+        assert est["a"] == WCET_AVG.estimate(g.task("a"))
+        assert est["b"] == WCET_AVG.estimate(g.task("b"))
+
+    def test_threshold_configurable(self):
+        g = spread_graph()
+        lenient = WcetAuto(spread_threshold=100.0)  # never switches
+        est = lenient.estimate_graph(g)
+        assert est["b"] == WCET_MAX.estimate(g.task("b"))
+
+    def test_per_task_fallback_is_max(self):
+        t = uniform_graph().task("a")
+        assert WCET_AUTO.estimate(t) == 20.0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(EligibilityError):
+            WcetAuto(spread_threshold=0.0)
+
+
+class TestIntegration:
+    def test_registry(self):
+        assert get_estimator("WCET-AUTO") is WCET_AUTO
+        assert get_estimator("auto") is WCET_AUTO
+
+    def test_distribution_pipeline(self, uni3):
+        rng = make_rng(5)
+        g = generate_task_graph(WorkloadParams(m=3), rng, ["default"])
+        from repro.core import distribute_deadlines
+        from repro.sched import schedule_edf, validate_schedule
+
+        a = distribute_deadlines(g, uni3, "ADAPT-L", estimator="WCET-AUTO")
+        assert a.estimator_name == "WCET-AUTO"
+        s = schedule_edf(g, uni3, a)
+        assert validate_schedule(s, g, uni3, a) == []
+
+    def test_trial_config_accepts_auto(self):
+        from repro.experiments import TrialConfig, run_trial
+
+        fast = WorkloadParams(m=3, n_tasks_range=(12, 16), depth_range=(4, 6))
+        out = run_trial(
+            TrialConfig(workload=fast, estimator="WCET-AUTO"), seed=1
+        )
+        assert isinstance(out.success, bool)

@@ -1,0 +1,134 @@
+"""Unit tests for declarative experiment documents."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    TrialConfig,
+    apply_setting,
+    load_spec,
+    run_experiment,
+    spec_from_dict,
+)
+
+
+def doc():
+    return {
+        "name": "my-sweep",
+        "title": "ADAPT-L vs PURE over CCR",
+        "x": {"field": "workload.ccr", "values": [0.0, 0.5]},
+        "x_label": "CCR",
+        "series": [
+            {"label": "PURE", "set": {"metric": "PURE"}},
+            {"label": "ADAPT-L", "set": {"metric": "ADAPT-L"}},
+        ],
+        "base": {
+            "workload.m": 2,
+            "workload.olr": 0.7,
+            "workload.n_tasks_range": [10, 14],
+            "workload.depth_range": [4, 6],
+            "adaptive.k_l": 0.3,
+        },
+    }
+
+
+class TestApplySetting:
+    def test_trial_level(self):
+        c = apply_setting(TrialConfig(), "metric", "NORM")
+        assert c.metric == "NORM"
+        c = apply_setting(c, "contention_bus", True)
+        assert c.contention_bus
+
+    def test_workload_scope(self):
+        c = apply_setting(TrialConfig(), "workload.m", 5)
+        assert c.workload.m == 5
+
+    def test_tuple_fields_coerced(self):
+        c = apply_setting(TrialConfig(), "workload.depth_range", [3, 4])
+        assert c.workload.depth_range == (3, 4)
+
+    def test_adaptive_scope(self):
+        c = apply_setting(TrialConfig(), "adaptive.k_g", 2.0)
+        assert c.adaptive.k_g == 2.0
+
+    @pytest.mark.parametrize(
+        "path", ["nonsense", "workload.warp", "adaptive.flux", "zz.m"]
+    )
+    def test_unknown_paths_rejected(self, path):
+        with pytest.raises(ExperimentError):
+            apply_setting(TrialConfig(), path, 1)
+
+
+class TestSpecFromDict:
+    def test_builds_spec(self):
+        spec = spec_from_dict(doc())
+        assert spec.name == "my-sweep"
+        assert spec.x_values == [0.0, 0.5]
+        assert spec.series == ["PURE", "ADAPT-L"]
+        cfg = spec.config_for(0.5, "ADAPT-L")
+        assert cfg.metric == "ADAPT-L"
+        assert cfg.workload.ccr == 0.5
+        assert cfg.workload.m == 2
+        assert cfg.adaptive.k_l == 0.3
+
+    def test_series_overrides_base(self):
+        d = doc()
+        d["base"]["metric"] = "NORM"
+        spec = spec_from_dict(d)
+        assert spec.config_for(0.0, "PURE").metric == "PURE"
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ExperimentError):
+            spec_from_dict({"name": "x"})
+
+    def test_empty_series_rejected(self):
+        d = doc()
+        d["series"] = []
+        with pytest.raises(ExperimentError):
+            spec_from_dict(d)
+
+    def test_invalid_setting_fails_fast(self):
+        d = doc()
+        d["base"]["workload.bogus"] = 1
+        with pytest.raises(ExperimentError):
+            spec_from_dict(d)
+
+    def test_runs_end_to_end(self):
+        spec = spec_from_dict(doc())
+        result = run_experiment(spec, trials=3, seed=1, jobs=1)
+        assert len(result.cells) == 4
+
+
+class TestLoadSpec:
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(doc()))
+        spec = load_spec(path)
+        assert spec.name == "my-sweep"
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ExperimentError):
+            load_spec(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_spec(tmp_path / "ghost.json")
+
+    def test_cli_runs_config(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "exp.json"
+        payload = doc()
+        payload["x"]["values"] = [0.0]
+        path.write_text(json.dumps(payload))
+        code = main(
+            ["--config", str(path), "--trials", "2", "--jobs", "1",
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "my-sweep.json").exists()
+        assert "my-sweep" in capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""Unit tests for the figure registry (§6 experiment definitions)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import FIGURES, get_figure_spec
+
+
+class TestRegistry:
+    def test_all_paper_figures_present(self):
+        for name in ("fig2", "fig3", "fig4", "fig5", "fig6"):
+            assert name in FIGURES
+
+    def test_ablations_present(self):
+        for name in ("abl-kg", "abl-kl", "abl-thres", "abl-ccr"):
+            assert name in FIGURES
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_figure_spec("fig99")
+
+
+class TestFigureDefinitions:
+    def test_fig2_sweeps_system_size(self):
+        spec = get_figure_spec("fig2")
+        assert list(spec.x_values) == [2, 3, 4, 5, 6, 7, 8]
+        assert spec.series == ("PURE", "NORM", "ADAPT-G", "ADAPT-L")
+        cfg = spec.config_for(5, "NORM")
+        assert cfg.workload.m == 5
+        assert cfg.metric == "NORM"
+        assert cfg.workload.olr == 0.8 and cfg.workload.etd == 0.25
+
+    def test_fig3_sweeps_olr_at_three_processors(self):
+        spec = get_figure_spec("fig3")
+        cfg = spec.config_for(0.6, "PURE")
+        assert cfg.workload.olr == 0.6
+        assert cfg.workload.m == 3
+
+    def test_fig4_sweeps_etd(self):
+        spec = get_figure_spec("fig4")
+        assert list(spec.x_values) == [0.0, 0.25, 0.5, 0.75, 1.0]
+        cfg = spec.config_for(0.5, "ADAPT-L")
+        assert cfg.workload.etd == 0.5
+
+    def test_fig5_fig6_sweep_wcet_strategies(self):
+        for name in ("fig5", "fig6"):
+            spec = get_figure_spec(name)
+            assert spec.series == ("WCET-AVG", "WCET-MAX", "WCET-MIN")
+            cfg = spec.config_for(spec.x_values[0], "WCET-MAX")
+            assert cfg.metric == "ADAPT-L"
+            assert cfg.estimator == "WCET-MAX"
+
+    def test_paper_default_adaptive_params(self):
+        cfg = get_figure_spec("fig2").config_for(3, "ADAPT-L")
+        assert cfg.adaptive.k_g == 1.5
+        assert cfg.adaptive.k_l == 0.2
+        assert cfg.adaptive.c_thres_factor == 1.0
+
+    def test_ablation_kg_varies_factor(self):
+        spec = get_figure_spec("abl-kg")
+        assert spec.config_for(0.0, "ADAPT-G").adaptive.k_g == 0.0
+        assert spec.config_for(3.0, "ADAPT-G").adaptive.k_g == 3.0
+
+    def test_ablation_ccr_toggles_bus_model(self):
+        spec = get_figure_spec("abl-ccr")
+        assert not spec.config_for(0.1, "nominal bus").contention_bus
+        assert spec.config_for(0.1, "contention bus").contention_bus
+
+    def test_every_figure_builds_all_cells(self):
+        for name in FIGURES:
+            spec = get_figure_spec(name)
+            cells = spec.cells()
+            assert len(cells) == len(spec.x_values) * len(spec.series)

@@ -1,0 +1,80 @@
+"""Unit tests for experiment report rendering and persistence."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis import BinomialEstimate
+from repro.experiments.report import (
+    render_report,
+    result_chart,
+    result_markdown,
+    result_table,
+    save_csv,
+    save_json,
+)
+from repro.experiments.runner import CellResult, ExperimentResult
+
+
+@pytest.fixture
+def result():
+    res = ExperimentResult(
+        name="fig2",
+        title="Success ratio vs m",
+        x_label="m",
+        x_values=[2, 3],
+        series=["PURE", "ADAPT-L"],
+        trials_per_cell=10,
+        seed=1,
+        paper_reference="Figure 2",
+    )
+    values = {(0, 0): 2, (0, 1): 5, (1, 0): 8, (1, 1): 10}
+    for key, succ in values.items():
+        res.cells[key] = CellResult(BinomialEstimate(succ, 10))
+    return res
+
+
+class TestTables:
+    def test_result_table(self, result):
+        out = result_table(result)
+        assert "PURE" in out and "ADAPT-L" in out
+        assert "0.200" in out and "1.000" in out
+
+    def test_result_table_with_ci(self, result):
+        out = result_table(result, with_ci=True)
+        assert "[" in out and "]" in out
+
+    def test_markdown(self, result):
+        out = result_markdown(result)
+        assert out.startswith("| m |")
+        assert "|---|" in out
+
+
+class TestChart:
+    def test_chart_renders_series(self, result):
+        out = result_chart(result)
+        assert "o=PURE" in out
+        assert "x=ADAPT-L" in out
+
+    def test_render_report_combines(self, result):
+        out = render_report(result)
+        assert "Figure 2" in out
+        assert "trials/cell=10" in out
+
+
+class TestPersistence:
+    def test_save_json(self, result, tmp_path):
+        path = tmp_path / "r.json"
+        save_json(result, path)
+        doc = json.loads(path.read_text())
+        assert doc["name"] == "fig2"
+        assert len(doc["cells"]) == 4
+
+    def test_save_csv(self, result, tmp_path):
+        path = tmp_path / "r.csv"
+        save_csv(result, path)
+        rows = list(csv.reader(path.read_text().splitlines()))
+        assert rows[0] == ["m", "PURE", "ADAPT-L"]
+        assert float(rows[1][1]) == pytest.approx(0.2)
+        assert float(rows[2][2]) == pytest.approx(1.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the combined report builder."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    build_report,
+    get_figure_spec,
+    load_result_doc,
+    result_doc_markdown,
+    run_experiment,
+    save_json,
+)
+from repro.experiments.spec import ExperimentSpec, TrialConfig
+from repro.workload import WorkloadParams
+
+FAST = WorkloadParams(m=2, n_tasks_range=(10, 14), depth_range=(4, 6))
+
+
+def tiny_result(name="tiny", measure_lateness=False):
+    def config(x, metric):
+        return TrialConfig(
+            workload=FAST, metric=metric, measure_lateness=measure_lateness
+        )
+
+    spec = ExperimentSpec(
+        name=name, title=f"Title of {name}", x_label="m", x_values=(2,),
+        series=("PURE", "ADAPT-L"), config_for=config,
+        paper_reference="test",
+    )
+    return run_experiment(spec, trials=3, seed=1, jobs=1)
+
+
+class TestLoadResultDoc:
+    def test_round_trip(self, tmp_path):
+        result = tiny_result()
+        save_json(result, tmp_path / "tiny.json")
+        doc = load_result_doc(tmp_path / "tiny.json")
+        assert doc["name"] == "tiny"
+
+    def test_rejects_other_json(self, tmp_path):
+        (tmp_path / "x.json").write_text('{"format": "other/1"}')
+        with pytest.raises(ExperimentError):
+            load_result_doc(tmp_path / "x.json")
+
+    def test_rejects_bad_json(self, tmp_path):
+        (tmp_path / "x.json").write_text("{nope")
+        with pytest.raises(ExperimentError):
+            load_result_doc(tmp_path / "x.json")
+
+
+class TestResultDocMarkdown:
+    def test_contains_table_and_provenance(self, tmp_path):
+        result = tiny_result()
+        save_json(result, tmp_path / "tiny.json")
+        md = result_doc_markdown(load_result_doc(tmp_path / "tiny.json"))
+        assert md.startswith("### Title of tiny")
+        assert "| m | PURE | ADAPT-L |" in md
+        assert "trials/cell" in md
+
+    def test_lateness_block_when_measured(self, tmp_path):
+        result = tiny_result(measure_lateness=True)
+        save_json(result, tmp_path / "late.json")
+        md = result_doc_markdown(load_result_doc(tmp_path / "late.json"))
+        assert "Mean maximum lateness" in md
+
+
+class TestBuildReport:
+    def test_combines_and_orders(self, tmp_path):
+        for name in ("abl-z", "fig9", "custom"):
+            save_json(tiny_result(name), tmp_path / f"{name}.json")
+        # a non-result JSON must be skipped silently
+        (tmp_path / "heatmap.json").write_text(json.dumps({"format": "x"}))
+        report = build_report(tmp_path, title="My runs")
+        assert report.startswith("# My runs")
+        fig = report.index("fig9")
+        abl = report.index("abl-z")
+        custom = report.index("custom")
+        assert fig < abl < custom
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            build_report(tmp_path)
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            build_report(tmp_path / "ghost")
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["abl-kl", "--trials", "2", "--jobs", "1",
+             "--out", str(tmp_path), "--report"]
+        )
+        assert code == 0
+        assert (tmp_path / "REPORT.md").exists()
+        assert "abl-kl" in (tmp_path / "REPORT.md").read_text()
+
+    def test_cli_report_requires_out(self, capsys):
+        from repro.cli import main
+
+        assert main(["--report"]) == 2
+
+
+class TestEveryFigureSmokes:
+    def test_all_registered_figures_run_end_to_end(self):
+        """Two trials through every registered experiment — the net that
+        catches a broken figure definition before a full-size run."""
+        from repro.experiments import FIGURES
+
+        for name in FIGURES:
+            spec = get_figure_spec(name)
+            # shrink the sweep to its endpoints for speed
+            small = ExperimentSpec(
+                name=spec.name, title=spec.title, x_label=spec.x_label,
+                x_values=(spec.x_values[0], spec.x_values[-1]),
+                series=spec.series, config_for=spec.config_for,
+            )
+            result = run_experiment(small, trials=2, seed=1, jobs=1)
+            assert len(result.cells) == 2 * len(spec.series), name

@@ -1,0 +1,177 @@
+"""Unit tests for graph algorithms, with networkx as an oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    GraphBuilder,
+    TransitiveClosure,
+    average_parallelism,
+    chain_graph,
+    count_paths,
+    critical_path_tasks,
+    diamond_graph,
+    graph_depth,
+    iter_paths,
+    level_assignment,
+    longest_path_length,
+    parallel_sets,
+    static_levels,
+)
+
+
+def wide_graph():
+    """Two parallel chains sharing a source and a sink."""
+    return (
+        GraphBuilder()
+        .task("s", 5).task("a1", 10).task("a2", 10)
+        .task("b1", 30).task("t", 5)
+        .edge("s", "a1").edge("a1", "a2").edge("a2", "t")
+        .edge("s", "b1").edge("b1", "t")
+        .build()
+    )
+
+
+class TestTransitiveClosure:
+    def test_matches_networkx(self, diamond):
+        g = wide_graph()
+        closure = TransitiveClosure(g)
+        oracle = nx.transitive_closure(g.to_networkx())
+        for u in g.task_ids():
+            for v in g.task_ids():
+                if u == v:
+                    continue
+                assert closure.reachable(u, v) == oracle.has_edge(u, v), (u, v)
+
+    def test_descendants_ancestors(self):
+        g = wide_graph()
+        c = TransitiveClosure(g)
+        assert c.descendants("s") == {"a1", "a2", "b1", "t"}
+        assert c.ancestors("t") == {"s", "a1", "a2", "b1"}
+        assert c.ancestors("s") == set()
+
+    def test_reachability_is_irreflexive(self):
+        c = TransitiveClosure(wide_graph())
+        for tid in ("s", "a1", "t"):
+            assert not c.reachable(tid, tid)
+
+    def test_unknown_id(self):
+        with pytest.raises(GraphError):
+            TransitiveClosure(wide_graph()).reachable("s", "zzz")
+
+
+class TestParallelSets:
+    def test_chain_has_empty_parallel_sets(self):
+        g = chain_graph([10, 10, 10])
+        assert all(v == 0 for v in parallel_sets(g).values())
+
+    def test_diamond_branches_are_parallel(self, diamond):
+        sizes = parallel_sets(diamond)
+        assert sizes == {"top": 0, "left": 1, "right": 1, "bottom": 0}
+
+    def test_partition_identity(self):
+        # anc + desc + parallel set + self covers all tasks.
+        g = wide_graph()
+        c = TransitiveClosure(g)
+        n = g.n_tasks
+        for tid in g.task_ids():
+            total = (
+                len(c.ancestors(tid))
+                + len(c.descendants(tid))
+                + c.parallel_set_size(tid)
+                + 1
+            )
+            assert total == n
+
+    def test_parallel_set_symmetry(self):
+        g = wide_graph()
+        c = TransitiveClosure(g)
+        for u in g.task_ids():
+            for v in c.parallel_set(u):
+                assert u in c.parallel_set(v)
+
+
+class TestStaticLevels:
+    def test_chain(self):
+        g = chain_graph([10, 20, 15])
+        levels = static_levels(g, lambda t: g.task(t).mean_wcet())
+        assert levels["t2"] == 15
+        assert levels["t1"] == 35
+        assert levels["t0"] == 45
+
+    def test_longest_path_picks_heavier_branch(self):
+        g = wide_graph()
+        cost = lambda t: g.task(t).mean_wcet()
+        assert longest_path_length(g, cost) == 5 + 30 + 5  # via b1
+
+    def test_empty_graph_longest_path(self):
+        from repro.graph import TaskGraph
+
+        assert longest_path_length(TaskGraph(), lambda t: 0.0) == 0.0
+
+
+class TestAverageParallelism:
+    def test_eq7_on_hand_graph(self):
+        g = wide_graph()
+        cost = lambda t: g.task(t).mean_wcet()
+        # xi = total workload / longest path = 60 / 40
+        assert average_parallelism(g, cost) == pytest.approx(60 / 40)
+
+    def test_chain_parallelism_is_one(self):
+        g = chain_graph([7, 7, 7])
+        assert average_parallelism(g, lambda t: 7.0) == pytest.approx(1.0)
+
+    def test_empty_graph_raises(self):
+        from repro.graph import TaskGraph
+
+        with pytest.raises(GraphError):
+            average_parallelism(TaskGraph(), lambda t: 1.0)
+
+
+class TestDepthAndLevels:
+    def test_graph_depth(self, diamond):
+        assert graph_depth(diamond) == 3
+        assert graph_depth(chain_graph([1] * 5)) == 5
+
+    def test_level_assignment(self, diamond):
+        levels = level_assignment(diamond)
+        assert levels == {"top": 0, "left": 1, "right": 1, "bottom": 2}
+
+
+class TestPaths:
+    def test_iter_paths_diamond(self, diamond):
+        paths = sorted(tuple(p) for p in iter_paths(diamond, "top", "bottom"))
+        assert paths == [
+            ("top", "left", "bottom"),
+            ("top", "right", "bottom"),
+        ]
+
+    def test_iter_paths_limit(self, diamond):
+        assert len(list(iter_paths(diamond, "top", "bottom", limit=1))) == 1
+
+    def test_count_paths(self, diamond):
+        assert count_paths(diamond, "top", "bottom") == 2
+        assert count_paths(diamond, "left", "right") == 0
+
+    def test_count_paths_matches_enumeration(self):
+        g = wide_graph()
+        n = count_paths(g, "s", "t")
+        assert n == len(list(iter_paths(g, "s", "t")))
+
+
+class TestCriticalPathTasks:
+    def test_picks_longest_route(self):
+        g = wide_graph()
+        path = critical_path_tasks(g, lambda t: g.task(t).mean_wcet())
+        assert path == ["s", "b1", "t"]
+
+    def test_empty(self):
+        from repro.graph import TaskGraph
+
+        assert critical_path_tasks(TaskGraph(), lambda t: 0.0) == []
+
+    def test_diamond_tie_breaks_deterministically(self, diamond):
+        p1 = critical_path_tasks(diamond, lambda t: 10.0)
+        p2 = critical_path_tasks(diamond, lambda t: 10.0)
+        assert p1 == p2

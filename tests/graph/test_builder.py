@@ -1,0 +1,84 @@
+"""Unit tests for GraphBuilder and the canned shapes."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    GraphBuilder,
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+    layered_graph,
+)
+
+
+class TestBuilder:
+    def test_scalar_wcet_uses_default_class(self):
+        g = GraphBuilder("cpu").task("a", 10).build()
+        assert g.task("a").wcet_on("cpu") == 10.0
+
+    def test_mapping_wcet(self):
+        g = GraphBuilder().task("a", {"x": 1.0, "y": 2.0}).build()
+        assert g.task("a").eligible_classes() == {"x", "y"}
+
+    def test_builder_is_single_use(self):
+        b = GraphBuilder().task("a", 1)
+        b.build()
+        with pytest.raises(GraphError):
+            b.task("b", 1)
+        with pytest.raises(GraphError):
+            b.build()
+
+    def test_chaining(self):
+        g = (
+            GraphBuilder()
+            .task("a", 1).task("b", 2)
+            .edge("a", "b", message=5)
+            .e2e("a", "b", 10)
+            .build()
+        )
+        assert g.message_size("a", "b") == 5.0
+        assert g.e2e_deadline("a", "b") == 10.0
+
+    def test_resources_attached(self):
+        g = GraphBuilder().task("a", 1, resources=["bus", "db"]).build()
+        assert g.task("a").resources == {"bus", "db"}
+
+
+class TestShapes:
+    def test_chain(self):
+        g = chain_graph([1, 2, 3], e2e_deadline=20, message=1.5)
+        assert g.n_tasks == 3
+        assert g.n_edges == 2
+        assert g.message_size("t0", "t1") == 1.5
+        assert g.e2e_deadline("t0", "t2") == 20.0
+
+    def test_chain_requires_tasks(self):
+        with pytest.raises(GraphError):
+            chain_graph([])
+
+    def test_fork_join(self):
+        g = fork_join_graph([[1, 2], [3]], e2e_deadline=30)
+        assert g.input_tasks() == ["src"]
+        assert g.output_tasks() == ["sink"]
+        assert g.n_tasks == 2 + 3
+        # both branches rejoin
+        assert set(g.predecessors("sink")) == {"b0_1", "b1_0"}
+
+    def test_fork_join_rejects_empty_branch(self):
+        with pytest.raises(GraphError):
+            fork_join_graph([[1], []])
+
+    def test_diamond(self):
+        g = diamond_graph(e2e_deadline=60)
+        assert g.n_tasks == 4
+        assert set(g.successors("top")) == {"left", "right"}
+
+    def test_layered_fully_connected(self):
+        g = layered_graph([[1, 1], [2, 2, 2]], e2e_deadline=99)
+        assert g.n_edges == 2 * 3
+        assert len(g.e2e_deadlines()) == 2 * 3
+
+    def test_layered_rejects_empty_layer(self):
+        with pytest.raises(GraphError):
+            layered_graph([[1], []])

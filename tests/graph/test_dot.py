@@ -1,0 +1,29 @@
+"""Unit tests for DOT export."""
+
+from repro.graph import to_dot
+
+
+def test_dot_contains_nodes_and_edges(chain3):
+    dot = to_dot(chain3)
+    assert dot.startswith("digraph")
+    for tid in ("a", "b", "c"):
+        assert f'"{tid}"' in dot
+    assert '"a" -> "b"' in dot
+
+
+def test_dot_includes_windows_when_given(chain3):
+    dot = to_dot(chain3, windows={"a": (0.0, 25.0)})
+    assert "w=[0,25]" in dot
+
+
+def test_dot_labels_message_sizes(hetero_graph):
+    dot = to_dot(hetero_graph)
+    assert 'label="2"' in dot
+
+
+def test_dot_escapes_quotes():
+    from repro.graph import GraphBuilder
+
+    g = GraphBuilder().task('we"ird', 1).build()
+    dot = to_dot(g)
+    assert '\\"' in dot

@@ -1,0 +1,70 @@
+"""Unit tests for task-graph JSON serialization."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph import (
+    GraphBuilder,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+
+def rich_graph():
+    return (
+        GraphBuilder()
+        .task("a", {"fast": 8, "slow": 12}, phasing=2.0, resources=["bus"])
+        .task("b", 20, relative_deadline=30.0, period=100.0)
+        .task("c", 15)
+        .edge("a", "b", message=2.5)
+        .edge("b", "c")
+        .e2e("a", "c", 120)
+        .build()
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        g = rich_graph()
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.task_ids() == g.task_ids()
+        assert sorted(g2.edges()) == sorted(g.edges())
+        assert g2.e2e_deadlines() == g.e2e_deadlines()
+        a = g2.task("a")
+        assert a.wcet == {"fast": 8.0, "slow": 12.0}
+        assert a.phasing == 2.0
+        assert a.resources == {"bus"}
+        b = g2.task("b")
+        assert b.relative_deadline == 30.0
+        assert b.period == 100.0
+
+    def test_file_round_trip(self, tmp_path):
+        g = rich_graph()
+        path = tmp_path / "g.json"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert g2.n_tasks == g.n_tasks
+        assert g2.n_edges == g.n_edges
+
+
+class TestMalformed:
+    def test_wrong_format_marker(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict({"format": "bogus/9", "tasks": []})
+
+    def test_non_dict_document(self):
+        with pytest.raises(SerializationError):
+            graph_from_dict([1, 2, 3])
+
+    def test_missing_fields(self):
+        doc = {"format": "repro.taskgraph/1", "tasks": [{"id": "a"}]}
+        with pytest.raises(SerializationError):
+            graph_from_dict(doc)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_graph(path)

@@ -1,0 +1,116 @@
+"""Unit tests for the Task model (§3.2)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import Task
+
+
+def make(**kw):
+    defaults = dict(id="t", wcet={"e1": 10.0, "e2": 20.0})
+    defaults.update(kw)
+    return Task(**defaults)
+
+
+class TestValidation:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValidationError):
+            make(id="")
+
+    def test_empty_wcet_rejected(self):
+        with pytest.raises(ValidationError):
+            make(wcet={})
+
+    def test_zero_wcet_rejected(self):
+        with pytest.raises(ValidationError):
+            make(wcet={"e1": 0.0})
+
+    def test_negative_wcet_rejected(self):
+        with pytest.raises(ValidationError):
+            make(wcet={"e1": -1.0})
+
+    def test_negative_phasing_rejected(self):
+        with pytest.raises(ValidationError):
+            make(phasing=-1.0)
+
+    def test_nonpositive_relative_deadline_rejected(self):
+        with pytest.raises(ValidationError):
+            make(relative_deadline=0.0)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValidationError):
+            make(period=-5.0)
+
+    def test_deadline_exceeding_period_rejected(self):
+        # Constrained-deadline model: d_i <= T_i (§3.3).
+        with pytest.raises(ValidationError):
+            make(relative_deadline=30.0, period=20.0)
+
+    def test_deadline_equal_to_period_allowed(self):
+        t = make(relative_deadline=20.0, period=20.0)
+        assert t.relative_deadline == 20.0
+
+
+class TestWcetQueries:
+    def test_eligibility(self):
+        t = make()
+        assert t.is_eligible("e1")
+        assert not t.is_eligible("e3")
+        assert t.eligible_classes() == {"e1", "e2"}
+
+    def test_min_max_mean(self):
+        t = make()
+        assert t.min_wcet() == 10.0
+        assert t.max_wcet() == 20.0
+        assert t.mean_wcet() == 15.0
+
+    def test_wcet_on_ineligible_class_raises(self):
+        with pytest.raises(KeyError):
+            make().wcet_on("e3")
+
+    def test_wcet_mapping_is_copied(self):
+        src = {"e1": 10.0}
+        t = Task(id="t", wcet=src)
+        src["e1"] = 99.0
+        assert t.wcet_on("e1") == 10.0
+
+
+class TestInvocations:
+    def test_aperiodic_single_invocation(self):
+        t = make(phasing=5.0)
+        assert t.arrival_of(1) == 5.0
+        with pytest.raises(ValidationError):
+            t.arrival_of(2)
+
+    def test_periodic_arrivals(self):
+        t = make(phasing=3.0, period=10.0)
+        assert t.arrival_of(1) == 3.0
+        assert t.arrival_of(4) == 33.0
+
+    def test_invocation_indices_are_one_based(self):
+        with pytest.raises(ValidationError):
+            make().arrival_of(0)
+
+    def test_absolute_deadline(self):
+        t = make(phasing=2.0, period=10.0, relative_deadline=8.0)
+        assert t.absolute_deadline_of(2) == 2.0 + 10.0 + 8.0
+
+    def test_absolute_deadline_requires_relative_deadline(self):
+        with pytest.raises(ValidationError):
+            make().absolute_deadline_of(1)
+
+    def test_is_periodic(self):
+        assert make(period=10.0).is_periodic()
+        assert not make().is_periodic()
+
+
+class TestWithDeadline:
+    def test_with_deadline_copies_everything_else(self):
+        t = make(phasing=1.0, period=50.0, resources=frozenset({"r"}))
+        t2 = t.with_deadline(25.0)
+        assert t2.relative_deadline == 25.0
+        assert t2.id == t.id
+        assert t2.phasing == 1.0
+        assert t2.period == 50.0
+        assert t2.resources == {"r"}
+        assert t.relative_deadline is None  # original untouched

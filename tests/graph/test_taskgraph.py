@@ -1,0 +1,177 @@
+"""Unit tests for the TaskGraph model (§3.2, §4.1)."""
+
+import pytest
+
+from repro.errors import CycleError, GraphError, ValidationError
+from repro.graph import GraphBuilder, Task, TaskGraph
+
+
+def simple_graph() -> TaskGraph:
+    g = TaskGraph()
+    for tid, c in (("a", 10.0), ("b", 20.0), ("c", 15.0)):
+        g.add_task(Task(id=tid, wcet={"e1": c}))
+    g.add_edge("a", "b", 3.0)
+    g.add_edge("b", "c")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_task(Task(id="a", wcet={"e1": 1.0}))
+
+    def test_edge_to_unknown_task_rejected(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "zzz")
+        with pytest.raises(GraphError):
+            g.add_edge("zzz", "a")
+
+    def test_self_loop_rejected(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_duplicate_edge_rejected(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b")
+
+    def test_negative_message_size_rejected(self):
+        g = simple_graph()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "c", -1.0)
+
+    def test_replace_task_keeps_arcs(self):
+        g = simple_graph()
+        g.replace_task(Task(id="b", wcet={"e1": 99.0}))
+        assert g.task("b").wcet_on("e1") == 99.0
+        assert g.has_edge("a", "b") and g.has_edge("b", "c")
+
+    def test_replace_unknown_task_rejected(self):
+        with pytest.raises(GraphError):
+            simple_graph().replace_task(Task(id="z", wcet={"e1": 1.0}))
+
+
+class TestQueries:
+    def test_counts(self):
+        g = simple_graph()
+        assert g.n_tasks == 3
+        assert g.n_edges == 2
+        assert len(g) == 3
+
+    def test_adjacency(self):
+        g = simple_graph()
+        assert g.successors("a") == ["b"]
+        assert g.predecessors("c") == ["b"]
+        assert g.in_degree("a") == 0
+        assert g.out_degree("b") == 1
+
+    def test_message_size(self):
+        g = simple_graph()
+        assert g.message_size("a", "b") == 3.0
+        assert g.message_size("b", "c") == 0.0
+        with pytest.raises(GraphError):
+            g.message_size("a", "c")
+
+    def test_set_message_size(self):
+        g = simple_graph()
+        g.set_message_size("a", "b", 7.0)
+        assert g.message_size("a", "b") == 7.0
+        with pytest.raises(GraphError):
+            g.set_message_size("a", "c", 1.0)
+        with pytest.raises(GraphError):
+            g.set_message_size("a", "b", -2.0)
+
+    def test_inputs_outputs(self):
+        g = simple_graph()
+        assert g.input_tasks() == ["a"]
+        assert g.output_tasks() == ["c"]
+
+    def test_edges_iteration(self):
+        g = simple_graph()
+        assert sorted(g.edges()) == [("a", "b", 3.0), ("b", "c", 0.0)]
+
+    def test_unknown_task_lookup(self):
+        with pytest.raises(GraphError):
+            simple_graph().task("nope")
+
+
+class TestE2EDeadlines:
+    def test_set_and_get(self):
+        g = simple_graph()
+        g.set_e2e_deadline("a", "c", 100.0)
+        assert g.e2e_deadline("a", "c") == 100.0
+
+    def test_missing_pair_raises(self):
+        with pytest.raises(GraphError):
+            simple_graph().e2e_deadline("a", "c")
+
+    def test_nonpositive_deadline_rejected(self):
+        g = simple_graph()
+        with pytest.raises(ValidationError):
+            g.set_e2e_deadline("a", "c", 0.0)
+
+    def test_output_deadline_takes_min_over_pairs(self):
+        g = TaskGraph()
+        g.add_task(Task(id="i1", wcet={"e": 1.0}, phasing=0.0))
+        g.add_task(Task(id="i2", wcet={"e": 1.0}, phasing=5.0))
+        g.add_task(Task(id="o", wcet={"e": 1.0}))
+        g.add_edge("i1", "o")
+        g.add_edge("i2", "o")
+        g.set_e2e_deadline("i1", "o", 100.0)
+        g.set_e2e_deadline("i2", "o", 80.0)
+        # bounds: 0 + 100 = 100 and 5 + 80 = 85 -> min is 85
+        assert g.output_deadline("o") == 85.0
+
+    def test_output_deadline_none_when_uncovered(self):
+        assert simple_graph().output_deadline("c") is None
+
+    def test_uniform_deadline_covers_all_pairs(self):
+        g = (
+            GraphBuilder()
+            .task("i1", 1).task("i2", 1).task("o1", 1).task("o2", 1)
+            .edge("i1", "o1").edge("i2", "o2")
+            .build()
+        )
+        g.set_uniform_e2e_deadline(50.0)
+        assert len(g.e2e_deadlines()) == 4
+
+
+class TestStructure:
+    def test_topological_order(self):
+        order = simple_graph().topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detection(self):
+        g = TaskGraph()
+        for tid in "abc":
+            g.add_task(Task(id=tid, wcet={"e": 1.0}))
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        assert not g.is_acyclic()
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+    def test_subgraph_induced(self):
+        g = simple_graph()
+        g.set_e2e_deadline("a", "c", 90.0)
+        sub = g.subgraph(["a", "b"])
+        assert sub.n_tasks == 2
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("b", "c")
+        assert sub.e2e_deadlines() == {}
+
+    def test_copy_is_independent(self):
+        g = simple_graph()
+        g2 = g.copy()
+        g2.add_task(Task(id="d", wcet={"e1": 1.0}))
+        assert "d" not in g
+        assert g2.n_edges == g.n_edges
+
+    def test_to_networkx(self):
+        nxg = simple_graph().to_networkx()
+        assert set(nxg.nodes) == {"a", "b", "c"}
+        assert nxg.edges["a", "b"]["weight"] == 3.0

@@ -1,0 +1,146 @@
+"""Unit tests for task-graph transformations."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    GraphBuilder,
+    chain_graph,
+    contract_chains,
+    longest_path_length,
+    relabel,
+    scale_wcets,
+)
+
+
+class TestContractChains:
+    def test_pure_chain_collapses_to_one_task(self):
+        g = chain_graph([10, 20, 30], e2e_deadline=120.0)
+        out, mapping = contract_chains(g)
+        assert out.n_tasks == 1
+        merged = out.task_ids()[0]
+        assert out.task(merged).mean_wcet() == 60.0
+        assert set(mapping.values()) == {merged}
+        # the E-T-E deadline survives on the merged endpoints
+        assert out.e2e_deadline(merged, merged) == 120.0
+
+    def test_diamond_untouched(self, diamond):
+        out, mapping = contract_chains(diamond)
+        assert out.n_tasks == 4
+        assert mapping == {t: t for t in diamond.task_ids()}
+
+    def test_mixed_graph_contracts_only_runs(self):
+        # src -> a -> b -> sink and src -> c -> sink: a+b merge.
+        g = (
+            GraphBuilder()
+            .task("src", 5).task("a", 10).task("b", 10)
+            .task("c", 10).task("sink", 5)
+            .edge("src", "a").edge("a", "b").edge("b", "sink")
+            .edge("src", "c").edge("c", "sink")
+            .build()
+        )
+        out, mapping = contract_chains(g)
+        assert out.n_tasks == 4
+        assert mapping["a"] == mapping["b"] == "a+b"
+        assert out.task("a+b").mean_wcet() == 20.0
+
+    def test_path_lengths_preserved(self):
+        g = (
+            GraphBuilder()
+            .task("s", 5).task("x", 10).task("y", 15).task("t", 5)
+            .edge("s", "x").edge("x", "y").edge("y", "t")
+            .build()
+        )
+        before = longest_path_length(g, lambda t: g.task(t).mean_wcet())
+        out, _ = contract_chains(g)
+        after = longest_path_length(out, lambda t: out.task(t).mean_wcet())
+        assert before == after
+
+    def test_per_class_wcets_summed(self):
+        g = (
+            GraphBuilder()
+            .task("a", {"x": 10.0, "y": 20.0})
+            .task("b", {"x": 5.0, "y": 7.0})
+            .edge("a", "b")
+            .build()
+        )
+        out, _ = contract_chains(g)
+        merged = out.task("a+b")
+        assert merged.wcet_on("x") == 15.0
+        assert merged.wcet_on("y") == 27.0
+
+    def test_differing_eligibility_blocks_merge(self):
+        g = (
+            GraphBuilder()
+            .task("a", {"x": 10.0})
+            .task("b", {"y": 5.0})
+            .edge("a", "b")
+            .build()
+        )
+        out, _ = contract_chains(g)
+        assert out.n_tasks == 2
+
+    def test_resources_unioned(self):
+        g = (
+            GraphBuilder()
+            .task("a", 10, resources=["r1"])
+            .task("b", 10, resources=["r2"])
+            .edge("a", "b")
+            .build()
+        )
+        out, _ = contract_chains(g)
+        assert out.task("a+b").resources == {"r1", "r2"}
+
+    def test_contracted_graph_schedules(self, uni2):
+        from repro.core import distribute_deadlines
+        from repro.sched import schedule_edf, validate_schedule
+
+        g = chain_graph([10, 20, 15], e2e_deadline=90.0)
+        out, _ = contract_chains(g)
+        a = distribute_deadlines(out, uni2, "PURE")
+        s = schedule_edf(out, uni2, a)
+        assert s.feasible
+        assert validate_schedule(s, out, uni2, a) == []
+
+
+class TestScaleWcets:
+    def test_scales_every_class(self, hetero_graph):
+        out = scale_wcets(hetero_graph, 2.0)
+        assert out.task("a").wcet_on("fast") == 16.0
+        assert out.task("a").wcet_on("slow") == 24.0
+        # structure untouched
+        assert sorted(out.edges()) == sorted(hetero_graph.edges())
+        assert out.e2e_deadlines() == hetero_graph.e2e_deadlines()
+
+    def test_nonpositive_factor_rejected(self, hetero_graph):
+        with pytest.raises(GraphError):
+            scale_wcets(hetero_graph, 0.0)
+
+
+class TestRelabel:
+    def test_mapping_rename(self, chain3):
+        out = relabel(chain3, {"a": "alpha"})
+        assert "alpha" in out and "a" not in out
+        assert out.has_edge("alpha", "b")
+        assert out.e2e_deadline("alpha", "c") == 90.0
+
+    def test_callable_rename(self, chain3):
+        out = relabel(chain3, lambda t: f"app1.{t}")
+        assert "app1.b" in out
+        assert out.has_edge("app1.a", "app1.b")
+
+    def test_collision_rejected(self, chain3):
+        with pytest.raises(GraphError):
+            relabel(chain3, lambda t: "same")
+
+    def test_compose_two_applications(self, chain3):
+        # namespacing enables graph composition without id clashes
+        g1 = relabel(chain3, lambda t: f"app1.{t}")
+        g2 = relabel(chain3, lambda t: f"app2.{t}")
+        combined = g1.copy()
+        for t in g2.tasks():
+            combined.add_task(t)
+        for s, d, m in g2.edges():
+            combined.add_edge(s, d, m)
+        assert combined.n_tasks == 6
+        assert combined.is_acyclic()

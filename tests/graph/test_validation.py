@@ -1,0 +1,69 @@
+"""Unit tests for task-graph validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import GraphBuilder, Task, TaskGraph, check_graph, validate_graph
+
+
+class TestValidateGraph:
+    def test_valid_graph_passes(self, chain3):
+        report = validate_graph(chain3)
+        assert report.ok
+        assert report.warnings == []
+
+    def test_empty_graph_fails(self):
+        report = validate_graph(TaskGraph())
+        assert not report.ok
+
+    def test_cycle_fails(self):
+        g = TaskGraph()
+        for tid in "ab":
+            g.add_task(Task(id=tid, wcet={"e": 1.0}))
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        report = validate_graph(g)
+        assert not report.ok
+        assert "cycle" in report.errors[0]
+
+    def test_e2e_pair_must_anchor_at_input_and_output(self):
+        g = (
+            GraphBuilder()
+            .task("a", 1).task("b", 1).task("c", 1)
+            .edge("a", "b").edge("b", "c")
+            .build()
+        )
+        g.set_e2e_deadline("b", "c", 10.0)  # b is not an input task
+        report = validate_graph(g)
+        assert any("not an input task" in e for e in report.errors)
+
+    def test_disconnected_pair_warns(self):
+        g = (
+            GraphBuilder()
+            .task("i1", 1).task("o1", 1).task("i2", 1).task("o2", 1)
+            .edge("i1", "o1").edge("i2", "o2")
+            .e2e("i1", "o2", 10)
+            .build()
+        )
+        report = validate_graph(g)
+        assert report.ok
+        assert any("no path connects" in w for w in report.warnings)
+
+    def test_deadline_below_min_work_warns(self, chain3):
+        chain3.set_e2e_deadline("a", "c", 9.0)  # min work is 45
+        # min over pairs: the new tighter pair triggers the warning
+        report = validate_graph(chain3)
+        assert any("below the minimum" in w for w in report.warnings)
+
+    def test_uncovered_output_warns_when_required(self):
+        g = GraphBuilder().task("a", 1).task("b", 1).edge("a", "b").build()
+        report = validate_graph(g, require_e2e=True)
+        assert any("not covered" in w for w in report.warnings)
+
+    def test_check_graph_raises(self):
+        with pytest.raises(ValidationError):
+            check_graph(TaskGraph())
+
+    def test_raise_if_invalid_passes_warnings(self, chain3):
+        chain3.set_e2e_deadline("a", "c", 9.0)
+        validate_graph(chain3).raise_if_invalid()  # warnings don't raise

@@ -1,0 +1,131 @@
+"""Integration tests spanning multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core import distribute_deadlines
+from repro.rng import make_rng
+from repro.sched import (
+    build_dispatch_tables,
+    iter_events,
+    schedule_edf,
+    validate_schedule,
+)
+from repro.system import Platform, Processor, ProcessorClass, identical_platform
+from repro.workload import WorkloadParams, engine_control_graph, generate_workload
+
+FAST = WorkloadParams(m=2, n_tasks_range=(12, 16), depth_range=(4, 6))
+
+
+class TestQuantizedPipeline:
+    def test_quantized_windows_schedule_and_validate(self):
+        wl = generate_workload(FAST, make_rng(0))
+        a = distribute_deadlines(wl.graph, wl.platform, "ADAPT-L").quantized()
+        s = schedule_edf(wl.graph, wl.platform, a)
+        problems = validate_schedule(
+            s, wl.graph, wl.platform, a, check_deadlines=False
+        )
+        assert problems == []
+        # integer windows (generator uses integer phasings and times)
+        for tid in wl.graph.task_ids():
+            w = a.window(tid)
+            assert w.arrival == int(w.arrival)
+            assert w.absolute_deadline == int(w.absolute_deadline)
+
+    def test_quantization_rarely_flips_feasibility(self):
+        # Floors shrink windows by < 1 unit; with integer WCETs the
+        # schedule usually lands on the same placements.
+        flips = 0
+        for seed in range(10):
+            wl = generate_workload(FAST, make_rng(seed))
+            a = distribute_deadlines(wl.graph, wl.platform, "PURE")
+            s1 = schedule_edf(wl.graph, wl.platform, a)
+            s2 = schedule_edf(wl.graph, wl.platform, a.quantized())
+            flips += s1.feasible != s2.feasible
+        assert flips <= 3
+
+
+class TestAdmissionToDispatch:
+    def test_admitted_work_becomes_a_dispatch_table(self):
+        from repro.online import AdmissionController
+
+        platform = identical_platform(2)
+        ctrl = AdmissionController(platform, metric="PURE")
+        from repro.graph import chain_graph
+
+        ctrl.submit("a", chain_graph([10, 15]), arrival=0.0,
+                    relative_deadline=60.0)
+        ctrl.submit("b", chain_graph([12, 8]), arrival=10.0,
+                    relative_deadline=70.0)
+        combined = ctrl.combined_schedule()
+        tables = build_dispatch_tables(combined, platform, cycle_length=100.0)
+        names = {e.task_id for t in tables.values() for e in t.entries}
+        assert names == set(combined.entries)
+        # no instant hosts two tasks on one processor
+        for t in tables.values():
+            for x in np.linspace(0.0, 99.9, 200):
+                t.running_at(float(x))  # must never raise
+
+    def test_events_match_dispatch_entries(self):
+        wl = generate_workload(FAST, make_rng(3))
+        a = distribute_deadlines(wl.graph, wl.platform, "ADAPT-L")
+        s = schedule_edf(wl.graph, wl.platform, a)
+        if not s.feasible:
+            pytest.skip("seed produced an infeasible set")
+        tables = build_dispatch_tables(s, wl.platform)
+        starts = {
+            (e.task_id, e.start)
+            for t in tables.values()
+            for e in t.entries
+        }
+        event_starts = {
+            (ev.task_id, ev.time)
+            for ev in iter_events(s)
+            if ev.kind == "start"
+        }
+        assert starts == event_starts
+
+
+class TestScenarioToSvg:
+    def test_engine_control_renders_everywhere(self, tmp_path):
+        from repro.periodic import expand_multirate_graph
+        from repro.viz import gantt_svg, graph_svg
+
+        g = engine_control_graph(rng=np.random.default_rng(1))
+        unrolled = expand_multirate_graph(g)
+        platform = Platform(
+            [Processor("ecu1", "ecu"), Processor("dsp1", "dsp")],
+            [ProcessorClass("ecu"), ProcessorClass("dsp")],
+        )
+        a = distribute_deadlines(unrolled, platform, "ADAPT-L")
+        s = schedule_edf(unrolled, platform, a)
+        assert s.feasible
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(graph_svg(unrolled))
+        ET.fromstring(gantt_svg(s, platform, a))
+
+
+class TestStrictLocalityToTrace:
+    def test_clustered_assignment_trace_round_trip(self, tmp_path):
+        from repro.assign import (
+            FixedAssignmentEdfScheduler,
+            cluster_assignment,
+            exact_estimates,
+        )
+        from repro.sched import load_trace_csv, save_trace_csv
+
+        wl = generate_workload(FAST.with_overrides(olr=1.2), make_rng(5))
+        fixed = cluster_assignment(wl.graph, wl.platform)
+        est = exact_estimates(wl.graph, wl.platform, fixed)
+        a = distribute_deadlines(
+            wl.graph, wl.platform, "NORM", estimates=est
+        )
+        s = FixedAssignmentEdfScheduler(fixed, continue_on_miss=True).schedule(
+            wl.graph, wl.platform, a
+        )
+        path = tmp_path / "strict.csv"
+        save_trace_csv(s, path)
+        again = load_trace_csv(path)
+        for entry in again:
+            assert entry.processor == fixed.processor_of(entry.task_id)

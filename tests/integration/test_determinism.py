@@ -1,0 +1,78 @@
+"""Bit-for-bit reproducibility across the whole stack."""
+
+import json
+
+from repro.experiments import (
+    TrialConfig,
+    get_figure_spec,
+    run_experiment,
+    save_json,
+)
+from repro.experiments.spec import ExperimentSpec
+from repro.workload import WorkloadParams
+
+FAST = WorkloadParams(m=2, n_tasks_range=(10, 14), depth_range=(4, 6))
+
+
+def small_fig2():
+    spec = get_figure_spec("fig2")
+
+    def config(x, metric):
+        base = spec.config_for(x, metric)
+        return TrialConfig(
+            workload=FAST.with_overrides(m=int(x)),
+            metric=metric,
+            adaptive=base.adaptive,
+        )
+
+    return ExperimentSpec(
+        name="fig2-small", title=spec.title, x_label=spec.x_label,
+        x_values=(2, 3), series=spec.series, config_for=config,
+    )
+
+
+class TestReproducibility:
+    def test_identical_json_across_runs(self, tmp_path):
+        docs = []
+        for run in range(2):
+            result = run_experiment(small_fig2(), trials=6, seed=7, jobs=1)
+            path = tmp_path / f"run{run}.json"
+            save_json(result, path)
+            doc = json.loads(path.read_text())
+            doc.pop("elapsed_seconds")
+            docs.append(doc)
+        assert docs[0] == docs[1]
+
+    def test_parallel_equals_serial_json(self, tmp_path):
+        serial = run_experiment(small_fig2(), trials=6, seed=7, jobs=1)
+        parallel = run_experiment(small_fig2(), trials=6, seed=7, jobs=3)
+        d1, d2 = serial.to_dict(), parallel.to_dict()
+        d1.pop("elapsed_seconds")
+        d2.pop("elapsed_seconds")
+        assert d1 == d2
+
+    def test_full_pipeline_artifacts_stable(self, tmp_path):
+        """Graph JSON, assignment dict, schedule dict and trace CSV are
+        byte-stable for a fixed seed."""
+        from repro.core import distribute_deadlines
+        from repro.graph import graph_to_dict
+        from repro.rng import make_rng
+        from repro.sched import save_trace_csv, schedule_edf
+        from repro.workload import generate_workload
+
+        payloads = []
+        for _ in range(2):
+            wl = generate_workload(FAST, make_rng(99))
+            a = distribute_deadlines(wl.graph, wl.platform, "ADAPT-L")
+            s = schedule_edf(wl.graph, wl.platform, a)
+            trace = tmp_path / "t.csv"
+            save_trace_csv(s, trace)
+            payloads.append(
+                (
+                    json.dumps(graph_to_dict(wl.graph), sort_keys=True),
+                    json.dumps(a.to_dict(), sort_keys=True),
+                    json.dumps(s.to_dict(), sort_keys=True),
+                    trace.read_text(),
+                )
+            )
+        assert payloads[0] == payloads[1]

@@ -1,0 +1,71 @@
+"""Integration tests: generator → slicing → EDF → oracle validation."""
+
+import pytest
+
+from repro.core import METRIC_NAMES, distribute_deadlines, estimate_map
+from repro.rng import make_rng
+from repro.sched import schedule_edf, validate_schedule
+from repro.workload import WorkloadParams, generate_workload
+
+FAST = WorkloadParams(m=3, n_tasks_range=(20, 30), depth_range=(5, 7))
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("metric", METRIC_NAMES)
+    def test_random_workloads_validate(self, metric):
+        for seed in range(8):
+            wl = generate_workload(FAST, make_rng(seed))
+            a = distribute_deadlines(wl.graph, wl.platform, metric)
+            s = schedule_edf(wl.graph, wl.platform, a)
+            problems = validate_schedule(s, wl.graph, wl.platform, a)
+            assert problems == [], (metric, seed, problems)
+
+    def test_estimates_shared_across_metrics(self):
+        wl = generate_workload(FAST, make_rng(3))
+        est = estimate_map(wl.graph, "WCET-AVG", wl.platform)
+        a1 = distribute_deadlines(
+            wl.graph, wl.platform, "PURE", estimates=est
+        )
+        a2 = distribute_deadlines(wl.graph, wl.platform, "PURE")
+        assert a1.to_dict() == a2.to_dict()
+
+    @pytest.mark.parametrize("mode", ["workload", "pair-surplus"])
+    def test_both_deadline_modes_run(self, mode):
+        params = FAST.with_overrides(deadline_mode=mode)
+        wl = generate_workload(params, make_rng(5))
+        a = distribute_deadlines(wl.graph, wl.platform, "ADAPT-L")
+        s = schedule_edf(wl.graph, wl.platform, a)
+        assert validate_schedule(s, wl.graph, wl.platform, a) == []
+
+    def test_heterogeneous_wcets_respected(self):
+        # The validator cross-checks entry durations against per-class
+        # WCETs, so one pass over several heterogeneous workloads
+        # exercises the whole WCET-vector plumbing.
+        params = FAST.with_overrides(m=4, etd=0.5)
+        for seed in (11, 12, 13):
+            wl = generate_workload(params, make_rng(seed))
+            assert wl.platform.m_e >= 1
+            a = distribute_deadlines(wl.graph, wl.platform, "ADAPT-L")
+            s = schedule_edf(wl.graph, wl.platform, a)
+            assert validate_schedule(s, wl.graph, wl.platform, a) == []
+
+
+class TestSerializationAcrossPipeline:
+    def test_assignment_survives_round_trip_and_reschedules(self):
+        from repro.core import DeadlineAssignment
+
+        wl = generate_workload(FAST, make_rng(9))
+        a = distribute_deadlines(wl.graph, wl.platform, "NORM")
+        a2 = DeadlineAssignment.from_dict(a.to_dict())
+        s1 = schedule_edf(wl.graph, wl.platform, a)
+        s2 = schedule_edf(wl.graph, wl.platform, a2)
+        assert s1.to_dict() == s2.to_dict()
+
+    def test_graph_round_trip_preserves_distribution(self):
+        from repro.graph import graph_from_dict, graph_to_dict
+
+        wl = generate_workload(FAST, make_rng(10))
+        g2 = graph_from_dict(graph_to_dict(wl.graph))
+        a1 = distribute_deadlines(wl.graph, wl.platform, "ADAPT-G")
+        a2 = distribute_deadlines(g2, wl.platform, "ADAPT-G")
+        assert a1.to_dict() == a2.to_dict()

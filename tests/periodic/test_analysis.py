@@ -1,0 +1,85 @@
+"""Unit tests for periodic utilization analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import GraphBuilder
+from repro.periodic import (
+    per_rate_breakdown,
+    task_set_utilization,
+    utilization_bound_satisfied,
+)
+from repro.system import identical_platform
+from repro.workload import engine_control_graph
+
+
+def periodic_pair():
+    return (
+        GraphBuilder()
+        .task("a", 10, period=40.0)   # U = 0.25
+        .task("b", 30, period=60.0)   # U = 0.5
+        .build()
+    )
+
+
+class TestUtilization:
+    def test_sum_of_rates(self):
+        assert task_set_utilization(periodic_pair()) == pytest.approx(0.75)
+
+    def test_estimator_changes_value(self):
+        g = (
+            GraphBuilder()
+            .task("a", {"x": 10.0, "y": 30.0}, period=40.0)
+            .build()
+        )
+        avg = task_set_utilization(g)
+        mx = task_set_utilization(g, estimator="WCET-MAX")
+        assert avg == pytest.approx(0.5)
+        assert mx == pytest.approx(0.75)
+
+    def test_aperiodic_rejected(self):
+        g = GraphBuilder().task("a", 10).build()
+        with pytest.raises(ValidationError):
+            task_set_utilization(g)
+
+
+class TestBound:
+    def test_fits_one_processor(self):
+        assert utilization_bound_satisfied(
+            periodic_pair(), identical_platform(1)
+        )
+
+    def test_overload_detected(self):
+        g = (
+            GraphBuilder()
+            .task("a", 30, period=40.0)
+            .task("b", 30, period=40.0)
+            .build()
+        )
+        assert not utilization_bound_satisfied(g, identical_platform(1))
+        assert utilization_bound_satisfied(g, identical_platform(2))
+
+    def test_engine_control_fits_two_processors(self):
+        from repro.system import Platform, Processor, ProcessorClass
+
+        g = engine_control_graph(rng=np.random.default_rng(0))
+        platform = Platform(
+            [Processor("ecu1", "ecu"), Processor("dsp1", "dsp")],
+            [ProcessorClass("ecu"), ProcessorClass("dsp")],
+        )
+        assert utilization_bound_satisfied(g, platform)
+
+
+class TestBreakdown:
+    def test_groups_by_period(self):
+        g = engine_control_graph(rng=np.random.default_rng(0))
+        breakdown = per_rate_breakdown(g)
+        assert set(breakdown) == {20.0, 40.0, 80.0}
+        assert task_set_utilization(g) == pytest.approx(
+            sum(breakdown.values())
+        )
+
+    def test_sorted_by_period(self):
+        g = engine_control_graph(rng=np.random.default_rng(0))
+        assert list(per_rate_breakdown(g)) == [20.0, 40.0, 80.0]

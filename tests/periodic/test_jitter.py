@@ -1,0 +1,60 @@
+"""Unit tests for release-jitter analysis (implication I2)."""
+
+import pytest
+
+from repro.core import distribute_deadlines
+from repro.graph import GraphBuilder, chain_graph
+from repro.periodic import precedence_release_bounds, start_jitter
+from repro.sched import schedule_edf
+
+
+class TestStartJitter:
+    def test_uncontended_chain_has_zero_jitter(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        s = schedule_edf(chain3, uni2, a)
+        report = start_jitter(s, a)
+        assert report.maximum == pytest.approx(0.0)
+        assert report.mean == pytest.approx(0.0)
+
+    def test_contention_shows_up_as_start_drift(self, uni2):
+        # Three parallel tasks on two processors: one must wait.
+        g = (
+            GraphBuilder()
+            .task("x", 10).task("y", 10).task("z", 10)
+            .build()
+        )
+        from repro.core import DeadlineAssignment, TaskWindow
+
+        a = DeadlineAssignment(
+            windows={
+                t: TaskWindow(0.0, 40.0, 40.0) for t in ("x", "y", "z")
+            }
+        )
+        s = schedule_edf(g, uni2, a)
+        report = start_jitter(s, a)
+        assert report.maximum == pytest.approx(10.0)
+
+    def test_empty_report(self):
+        from repro.core import DeadlineAssignment
+        from repro.sched import Schedule
+
+        report = start_jitter(Schedule(), DeadlineAssignment(windows={}))
+        assert report.maximum == 0.0 and report.mean == 0.0
+
+
+class TestPrecedenceReleaseBounds:
+    def test_inputs_have_zero_spread(self, hetero_graph):
+        report = precedence_release_bounds(hetero_graph)
+        assert report.per_task["a"] == 0.0
+
+    def test_spread_accumulates_down_the_chain(self, hetero_graph):
+        report = precedence_release_bounds(hetero_graph)
+        # b's release varies by a's WCET spread (8 vs 12)
+        assert report.per_task["b"] == pytest.approx(4.0)
+        # c adds b's spread (16 vs 24)
+        assert report.per_task["c"] == pytest.approx(4.0 + 8.0)
+
+    def test_homogeneous_chain_has_no_jitter_potential(self):
+        g = chain_graph([10, 10, 10])
+        report = precedence_release_bounds(g)
+        assert report.maximum == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for multi-rate planning-cycle expansion."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import GraphBuilder
+from repro.periodic import expand_multirate_graph
+
+
+def multirate():
+    """Two independent chains at periods 50 and 100."""
+    return (
+        GraphBuilder()
+        .task("f1", 5, period=50.0).task("f2", 5, period=50.0)
+        .task("s1", 10, period=100.0).task("s2", 10, period=100.0)
+        .edge("f1", "f2", message=1)
+        .edge("s1", "s2", message=1)
+        .e2e("f1", "f2", 40)
+        .e2e("s1", "s2", 80)
+        .build()
+    )
+
+
+class TestExpandMultirate:
+    def test_defaults_to_hyperperiod(self):
+        g = expand_multirate_graph(multirate())
+        # hyperperiod 100: fast chain twice, slow chain once
+        assert "f1#1" in g and "f1#2" in g
+        assert "s1#1" in g and "s1#2" not in g
+        assert g.n_tasks == 2 * 2 + 2
+
+    def test_phasings_shifted_per_rate(self):
+        g = expand_multirate_graph(multirate())
+        assert g.task("f1#2").phasing == 50.0
+        assert g.task("s1#1").phasing == 0.0
+
+    def test_explicit_horizon(self):
+        g = expand_multirate_graph(multirate(), horizon=200.0)
+        assert "f1#4" in g and "s1#2" in g
+        assert g.n_tasks == 2 * 4 + 2 * 2
+
+    def test_deadlines_replicated(self):
+        g = expand_multirate_graph(multirate())
+        assert g.e2e_deadline("f1#2", "f2#2") == 40.0
+
+    def test_cross_rate_edges_rejected(self):
+        g = (
+            GraphBuilder()
+            .task("a", 1, period=10.0).task("b", 1, period=20.0)
+            .edge("a", "b")
+            .build()
+        )
+        with pytest.raises(ValidationError):
+            expand_multirate_graph(g)
+
+    def test_aperiodic_tasks_rejected(self):
+        g = GraphBuilder().task("a", 1).build()
+        with pytest.raises(ValidationError):
+            expand_multirate_graph(g)
+
+    def test_expanded_set_schedules(self, uni2):
+        from repro.core import distribute_deadlines
+        from repro.sched import schedule_edf, validate_schedule
+
+        g = expand_multirate_graph(multirate())
+        a = distribute_deadlines(g, uni2, "ADAPT-L")
+        s = schedule_edf(g, uni2, a)
+        assert s.feasible
+        assert validate_schedule(s, g, uni2, a) == []

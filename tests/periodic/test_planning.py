@@ -1,0 +1,130 @@
+"""Unit tests for planning-cycle analysis (§3.3)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import GraphBuilder, Task
+from repro.periodic import (
+    expand_periodic_graph,
+    hyperperiod,
+    invocations_within,
+    planning_cycle,
+)
+
+
+def ptask(tid, period, phasing=0.0, d=None):
+    return Task(
+        id=tid,
+        wcet={"e": 1.0},
+        phasing=phasing,
+        period=period,
+        relative_deadline=d,
+    )
+
+
+class TestHyperperiod:
+    def test_integers(self):
+        assert hyperperiod([4, 6]) == 12.0
+        assert hyperperiod([5]) == 5.0
+        assert hyperperiod([2, 3, 5]) == 30.0
+
+    def test_rationals(self):
+        assert hyperperiod([2.5, 1.5]) == pytest.approx(7.5)
+        assert hyperperiod([0.2, 0.5]) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            hyperperiod([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValidationError):
+            hyperperiod([0.0])
+
+
+class TestPlanningCycle:
+    def test_identical_arrivals_is_one_hyperperiod(self):
+        pc = planning_cycle([ptask("a", 4), ptask("b", 6)])
+        assert pc.hyperperiod == 12.0
+        assert pc.length == 12.0
+        assert pc.interval == (0.0, 12.0)
+
+    def test_staggered_arrivals_use_a_plus_2l(self):
+        pc = planning_cycle([ptask("a", 4), ptask("b", 6, phasing=3.0)])
+        assert pc.length == 3.0 + 2 * 12.0
+        assert pc.max_arrival == 3.0
+
+    def test_requires_normalized_phasings(self):
+        with pytest.raises(ValidationError):
+            planning_cycle([ptask("a", 4, phasing=1.0)])
+
+    def test_rejects_aperiodic_tasks(self):
+        with pytest.raises(ValidationError):
+            planning_cycle([Task(id="x", wcet={"e": 1.0})])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            planning_cycle([])
+
+
+class TestInvocations:
+    def test_periodic_expansion(self):
+        t = ptask("a", 10, phasing=2.0, d=5.0)
+        inv = invocations_within(t, 35.0)
+        assert [i.arrival for i in inv] == [2.0, 12.0, 22.0, 32.0]
+        assert inv[0].absolute_deadline == 7.0
+        assert inv[2].k == 3
+        assert inv[1].uid == "a#2"
+
+    def test_aperiodic_single(self):
+        t = Task(id="x", wcet={"e": 1.0}, phasing=3.0)
+        inv = invocations_within(t, 100.0)
+        assert len(inv) == 1
+        assert inv[0].absolute_deadline is None
+
+    def test_empty_horizon(self):
+        assert invocations_within(ptask("a", 10), 0.0) == []
+
+
+class TestExpandPeriodicGraph:
+    def graph(self):
+        return (
+            GraphBuilder()
+            .task("s", 10, period=100.0)
+            .task("t", 10, period=100.0)
+            .edge("s", "t", message=2)
+            .e2e("s", "t", 80)
+            .build()
+        )
+
+    def test_unrolls_copies(self):
+        g = expand_periodic_graph(self.graph(), 250.0)
+        assert g.n_tasks == 6  # 3 invocations x 2 tasks
+        assert g.task("s#2").phasing == 100.0
+        assert g.has_edge("s#3", "t#3")
+        assert g.message_size("s#1", "t#1") == 2.0
+        assert g.e2e_deadline("s#2", "t#2") == 80.0
+
+    def test_copies_are_aperiodic(self):
+        g = expand_periodic_graph(self.graph(), 150.0)
+        assert all(t.period is None for t in g.tasks())
+
+    def test_rejects_multi_rate(self):
+        g = (
+            GraphBuilder()
+            .task("a", 1, period=10.0)
+            .task("b", 1, period=20.0)
+            .edge("a", "b")
+            .build()
+        )
+        with pytest.raises(ValidationError):
+            expand_periodic_graph(g, 40.0)
+
+    def test_expanded_graph_schedules_end_to_end(self, uni2):
+        from repro.core import distribute_deadlines
+        from repro.sched import schedule_edf, validate_schedule
+
+        g = expand_periodic_graph(self.graph(), 300.0)
+        a = distribute_deadlines(g, uni2, "ADAPT-L")
+        s = schedule_edf(g, uni2, a)
+        assert s.feasible
+        assert validate_schedule(s, g, uni2, a) == []

@@ -1,0 +1,91 @@
+"""Property-based tests for the analysis/statistics layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import BinomialEstimate, sign_test_p_value
+from repro.experiments.runner import CellResult
+from repro.experiments.robustness import RobustnessResult
+
+
+@given(st.integers(0, 40), st.integers(0, 40))
+@settings(max_examples=150, deadline=None)
+def test_sign_test_properties(a, b):
+    p = sign_test_p_value(a, b)
+    assert 0.0 <= p <= 1.0
+    # symmetry
+    assert p == sign_test_p_value(b, a)
+    # adding equal evidence to both sides cannot fabricate significance
+    # out of a balanced split
+    if a == b:
+        assert p > 0.5
+
+
+@given(st.integers(1, 30), st.integers(0, 30))
+@settings(max_examples=100, deadline=None)
+def test_sign_test_monotone_in_imbalance(n, k):
+    # for fixed total n, a more extreme split is never less significant
+    total = n + k
+    p_balanced = sign_test_p_value((total + 1) // 2, total // 2)
+    p_extreme = sign_test_p_value(total, 0)
+    assert p_extreme <= p_balanced + 1e-12
+
+
+@st.composite
+def rank_tables(draw):
+    metrics = [f"M{i}" for i in range(draw(st.integers(2, 4)))]
+    n_conf = draw(st.integers(1, 5))
+    trials = 10
+    res = RobustnessResult(
+        metrics=metrics, configurations=[{}] * n_conf, trials_per_cell=trials
+    )
+    for ci in range(n_conf):
+        for m in metrics:
+            succ = draw(st.integers(0, trials))
+            res.ratios[(ci, m)] = CellResult(BinomialEstimate(succ, trials))
+    for ci in range(n_conf):
+        values = [res.ratio(ci, m) for m in metrics]
+        if max(values) < 0.02 or min(values) > 0.98:
+            continue
+        res.informative.append(ci)
+    return res
+
+
+@given(rank_tables())
+@settings(max_examples=100, deadline=None)
+def test_rank_invariants(res):
+    k = len(res.metrics)
+    for ci in res.informative:
+        ranks = {
+            m: 1 + sum(
+                1 for o in res.metrics
+                if res.ratio(ci, o) > res.ratio(ci, m) + 1e-12
+            )
+            for m in res.metrics
+        }
+        # ranks live in [1, k] and someone is always rank 1
+        assert all(1 <= r <= k for r in ranks.values())
+        assert min(ranks.values()) == 1
+    for m in res.metrics:
+        assert 0.0 <= res.max_regret(m) <= 1.0
+        if res.informative:
+            assert 1.0 <= res.mean_rank(m) <= k
+            assert 0.0 <= res.first_place_share(m) <= 1.0
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)),
+                min_size=1, max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_cell_merge_is_associative_on_counts(pairs):
+    cells = [
+        CellResult(BinomialEstimate(min(s, t), t))
+        for s, t in ((s, s + t) for s, t in pairs)
+    ]
+    left = cells[0]
+    for c in cells[1:]:
+        left = left.merged(c)
+    right = cells[-1]
+    for c in reversed(cells[:-1]):
+        right = c.merged(right)
+    assert left.estimate == right.estimate
+    assert left.trials == sum(c.trials for c in cells)

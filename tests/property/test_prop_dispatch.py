@@ -1,0 +1,89 @@
+"""Property-based tests for dispatch tables and admission control."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import distribute_deadlines
+from repro.sched import EdfListScheduler, build_dispatch_tables
+from repro.system import identical_platform
+
+from .strategies import dag_with_deadline
+
+
+@given(dag_with_deadline(), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_dispatch_tables_partition_the_cycle(graph, m):
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, "PURE")
+    sched = EdfListScheduler(continue_on_miss=True).schedule(
+        graph, platform, assignment
+    )
+    cycle = float(max(1, math.ceil(sched.makespan)))
+    tables = build_dispatch_tables(sched, platform, cycle_length=cycle)
+    for table in tables.values():
+        busy = table.busy_time()
+        idle = sum(b - a for a, b in table.gaps())
+        assert abs(busy + idle - cycle) <= 1e-6 * max(1.0, cycle)
+        # gaps and entries never overlap, jointly ordered
+        marks = [(e.start, e.finish) for e in table.entries] + table.gaps()
+        marks.sort()
+        for (a1, b1), (a2, b2) in zip(marks, marks[1:]):
+            assert b1 <= a2 + 1e-9
+
+
+@given(dag_with_deadline(), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_running_at_agrees_with_entries(graph, m):
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, "NORM")
+    sched = EdfListScheduler(continue_on_miss=True).schedule(
+        graph, platform, assignment
+    )
+    cycle = float(max(1, math.ceil(sched.makespan)))
+    tables = build_dispatch_tables(sched, platform, cycle_length=cycle)
+    for table in tables.values():
+        for e in table.entries:
+            mid = (e.start + e.finish) / 2.0
+            assert table.running_at(mid) == e.task_id
+            # and again one cycle later
+            assert table.running_at(mid + cycle) == e.task_id
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(1, 25),  # chain task count scale
+            st.integers(40, 160),  # relative deadline
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_admission_commitments_are_monotone(requests):
+    from repro.graph import chain_graph
+    from repro.online import AdmissionController
+
+    ctrl = AdmissionController(identical_platform(2), metric="PURE")
+    t = 0.0
+    horizon = 0.0
+    for i, (scale, deadline) in enumerate(requests):
+        graph = chain_graph([float(5 + scale), float(5 + scale // 2)])
+        decision = ctrl.submit(
+            f"r{i}", graph, arrival=t, relative_deadline=float(deadline)
+        )
+        new_horizon = ctrl.utilization_horizon()
+        if decision.admitted:
+            assert new_horizon >= horizon - 1e-9
+        else:
+            assert new_horizon == horizon  # rejections leave no trace
+        horizon = new_horizon
+        t += 7.0
+    # the combined schedule never overlaps on any processor
+    combined = ctrl.combined_schedule()
+    for proc in ("p1", "p2"):
+        rows = combined.tasks_on(proc)
+        for a, b in zip(rows, rows[1:]):
+            assert a.finish <= b.start + 1e-9

@@ -1,0 +1,110 @@
+"""Property-based tests for graph algorithms (hypothesis)."""
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.graph import TransitiveClosure, average_parallelism, static_levels
+
+from .strategies import task_graphs
+
+
+@given(task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_closure_matches_networkx(graph):
+    closure = TransitiveClosure(graph)
+    oracle = nx.transitive_closure(graph.to_networkx())
+    for u in graph.task_ids():
+        assert closure.descendants(u) == set(oracle.successors(u))
+
+
+@given(task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_parallel_set_partition(graph):
+    # self + ancestors + descendants + parallel set == all tasks
+    closure = TransitiveClosure(graph)
+    all_ids = set(graph.task_ids())
+    for tid in graph.task_ids():
+        anc = closure.ancestors(tid)
+        desc = closure.descendants(tid)
+        psi = closure.parallel_set(tid)
+        assert anc | desc | psi | {tid} == all_ids
+        assert not (anc & desc) and not (anc & psi) and not (desc & psi)
+        assert closure.parallel_set_size(tid) == len(psi)
+
+
+@given(task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_parallel_set_symmetry(graph):
+    closure = TransitiveClosure(graph)
+    for u in graph.task_ids():
+        for v in closure.parallel_set(u):
+            assert u in closure.parallel_set(v)
+
+
+@given(task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_static_levels_dominate_successors(graph):
+    cost = lambda t: graph.task(t).mean_wcet()
+    levels = static_levels(graph, cost)
+    for tid in graph.task_ids():
+        assert levels[tid] >= cost(tid) - 1e-9
+        for succ in graph.successors(tid):
+            assert levels[tid] >= levels[succ] + cost(tid) - 1e-9
+
+
+@given(task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_average_parallelism_bounds(graph):
+    cost = lambda t: graph.task(t).mean_wcet()
+    xi = average_parallelism(graph, cost)
+    # 1 <= xi <= n for any DAG with positive costs
+    assert 1.0 - 1e-9 <= xi <= graph.n_tasks + 1e-9
+
+
+@given(task_graphs())
+@settings(max_examples=40, deadline=None)
+def test_chain_contraction_preserves_structure(graph):
+    from repro.graph import contract_chains
+
+    cost_before = lambda t: graph.task(t).mean_wcet()
+    before = static_levels(graph, cost_before)
+    contracted, mapping = contract_chains(graph)
+    assert contracted.is_acyclic()
+    # total workload conserved
+    total_before = sum(graph.task(t).mean_wcet() for t in graph.task_ids())
+    total_after = sum(
+        contracted.task(t).mean_wcet() for t in contracted.task_ids()
+    )
+    assert abs(total_before - total_after) <= 1e-6 * max(1.0, total_before)
+    # longest path conserved
+    cost_after = lambda t: contracted.task(t).mean_wcet()
+    lp_before = max(before.values())
+    lp_after = max(static_levels(contracted, cost_after).values())
+    assert abs(lp_before - lp_after) <= 1e-6 * max(1.0, lp_before)
+    # mapping covers everything and maps into the contracted graph
+    assert set(mapping) == set(graph.task_ids())
+    assert set(mapping.values()) == set(contracted.task_ids())
+
+
+@given(task_graphs())
+@settings(max_examples=40, deadline=None)
+def test_relabel_is_invertible(graph):
+    from repro.graph import relabel
+
+    forward = relabel(graph, lambda t: f"x.{t}")
+    back = relabel(forward, lambda t: t[2:])
+    assert sorted(back.edges()) == sorted(graph.edges())
+    assert back.task_ids() == graph.task_ids()
+
+
+@given(task_graphs())
+@settings(max_examples=40, deadline=None)
+def test_serialization_round_trip(graph):
+    from repro.graph import graph_from_dict, graph_to_dict
+
+    graph.set_uniform_e2e_deadline(100.0)
+    again = graph_from_dict(graph_to_dict(graph))
+    assert sorted(again.edges()) == sorted(graph.edges())
+    assert again.e2e_deadlines() == graph.e2e_deadlines()
+    for tid in graph.task_ids():
+        assert again.task(tid).wcet == graph.task(tid).wcet

@@ -1,0 +1,76 @@
+"""Property-based tests for statistics, planning and estimation."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import BinomialEstimate, wilson_interval
+from repro.core import WCET_AVG, WCET_MAX, WCET_MIN
+from repro.graph import Task
+from repro.periodic import hyperperiod
+
+
+@given(st.integers(0, 200), st.integers(0, 200))
+@settings(max_examples=200, deadline=None)
+def test_wilson_interval_is_valid(successes, extra):
+    trials = successes + extra
+    lo, hi = wilson_interval(successes, trials)
+    assert 0.0 <= lo <= hi <= 1.0
+    if trials:
+        assert lo - 1e-12 <= successes / trials <= hi + 1e-12
+
+
+@given(
+    st.integers(0, 50), st.integers(0, 50),
+    st.integers(0, 50), st.integers(0, 50),
+)
+@settings(max_examples=100, deadline=None)
+def test_binomial_merge_is_exact(s1, e1, s2, e2):
+    a = BinomialEstimate(s1, s1 + e1)
+    b = BinomialEstimate(s2, s2 + e2)
+    m = a.merged(b)
+    assert m.successes == s1 + s2
+    assert m.trials == s1 + e1 + s2 + e2
+
+
+@given(st.lists(st.integers(1, 40), min_size=1, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_hyperperiod_divisible_by_every_period(periods):
+    L = hyperperiod([float(p) for p in periods])
+    for p in periods:
+        ratio = Fraction(L).limit_denominator(10**6) / Fraction(p)
+        assert ratio.denominator == 1
+    assert L >= max(periods)
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["e1", "e2", "e3"]),
+        st.floats(0.5, 100.0, allow_nan=False),
+        min_size=1,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_estimator_ordering(wcet):
+    task = Task(id="t", wcet=wcet)
+    lo = WCET_MIN.estimate(task)
+    mid = WCET_AVG.estimate(task)
+    hi = WCET_MAX.estimate(task)
+    eps = 1e-9 * max(1.0, hi)
+    assert lo - eps <= mid <= hi + eps
+    assert min(wcet.values()) == lo
+    assert max(wcet.values()) == hi
+
+
+@given(st.floats(0.1, 3.0, allow_nan=False), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_virtual_time_monotone_in_surplus(k_g, m):
+    from repro.core import virtual_times_global
+
+    est = {"a": 10.0, "b": 25.0}
+    v1 = virtual_times_global(est, xi=2.0, m=m, k_g=k_g, c_thres=15.0)
+    v2 = virtual_times_global(est, xi=4.0, m=m, k_g=k_g, c_thres=15.0)
+    # more parallelism -> at least as much inflation, never less
+    assert v2["b"] >= v1["b"]
+    assert v1["a"] == v2["a"] == 10.0  # below threshold: untouched

@@ -1,0 +1,81 @@
+"""Property-based tests for the schedulers against the oracle validator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import distribute_deadlines
+from repro.sched import EdfListScheduler, schedule_edf, validate_schedule
+from repro.sched.preemptive import schedule_preemptive_edf
+from repro.system import identical_platform
+
+from .strategies import dag_with_deadline
+
+METRICS = ["PURE", "NORM", "ADAPT-G", "ADAPT-L"]
+
+
+@given(dag_with_deadline(), st.sampled_from(METRICS), st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_edf_output_always_validates(graph, metric, m):
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, metric)
+    schedule = schedule_edf(graph, platform, assignment)
+    problems = validate_schedule(schedule, graph, platform, assignment)
+    assert problems == [], problems
+
+
+@given(dag_with_deadline(), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_continue_on_miss_places_every_task(graph, m):
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, "PURE")
+    sched = EdfListScheduler(continue_on_miss=True).schedule(
+        graph, platform, assignment
+    )
+    assert len(sched.entries) == graph.n_tasks
+    # structural validity holds regardless of deadline misses
+    problems = validate_schedule(
+        sched, graph, platform, assignment, check_deadlines=False
+    )
+    assert problems == [], problems
+
+
+@given(dag_with_deadline(), st.sampled_from(METRICS), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_fail_fast_agrees_with_lateness(graph, metric, m):
+    # The fail-fast verdict must agree with the completed schedule's
+    # maximum lateness: both modes follow the same deterministic EDF
+    # order, so "feasible" iff no task is late.
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, metric)
+    fast = schedule_edf(graph, platform, assignment)
+    full = EdfListScheduler(continue_on_miss=True).schedule(
+        graph, platform, assignment
+    )
+    assert fast.feasible == (full.max_lateness() <= 1e-9)
+
+
+@given(dag_with_deadline(), st.integers(2, 4))
+@settings(max_examples=40, deadline=None)
+def test_preemptive_completes_all_tasks(graph, m):
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, "PURE")
+    sched = schedule_preemptive_edf(graph, platform, assignment)
+    assert len(sched.entries) == graph.n_tasks
+    # precedence: finish order respects the partial order
+    for src, dst, _ in graph.edges():
+        assert sched.finish_time(dst) > sched.finish_time(src) - 1e-9
+
+
+@given(dag_with_deadline(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_makespan_dominates_load_bound(graph, m):
+    # Sanity bound: the makespan can never beat the perfectly balanced
+    # lower bound max(total work / m, longest task).
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, "PURE")
+    sched = EdfListScheduler(continue_on_miss=True).schedule(
+        graph, platform, assignment
+    )
+    total = sum(graph.task(t).wcet_on("default") for t in graph.task_ids())
+    longest = max(graph.task(t).wcet_on("default") for t in graph.task_ids())
+    assert sched.makespan >= max(total / m, longest) - 1e-6

@@ -1,0 +1,98 @@
+"""Property-based tests for the slicing invariants (§4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import distribute_deadlines, estimate_map, get_metric
+from repro.system import identical_platform
+from repro.types import time_leq
+
+from .strategies import dag_with_deadline
+
+METRICS = ["PURE", "NORM", "ADAPT-G", "ADAPT-L"]
+
+
+@given(dag_with_deadline(), st.sampled_from(METRICS), st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_slicing_invariants(graph, metric, m):
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, metric)
+
+    # Every task receives a well-formed window.
+    for tid in graph.task_ids():
+        w = assignment.window(tid)
+        assert w.relative_deadline >= -1e-9
+        assert abs(
+            w.absolute_deadline - (w.arrival + w.relative_deadline)
+        ) <= 1e-6
+
+    if not assignment.degenerate:
+        # Non-degenerate distributions satisfy every invariant, which
+        # jointly imply the path constraint (eq. 1) on all paths.
+        assert assignment.violations(graph) == []
+
+
+@given(dag_with_deadline(looseness_min=1.2), st.sampled_from(["PURE", "NORM"]))
+@settings(max_examples=60, deadline=None)
+def test_loose_deadlines_never_degenerate_nonadaptive(graph, metric):
+    # With the window comfortably above the total workload, no slice
+    # can go negative for the non-adaptive metrics.  (The adaptive
+    # metrics' *virtual* volume can exceed even a loose window — the
+    # eq. 6 fragility documented in DESIGN.md — so they are excluded.)
+    platform = identical_platform(2)
+    assignment = distribute_deadlines(graph, platform, metric)
+    assert not assignment.degenerate
+    assert assignment.violations(graph) == []
+
+
+@given(dag_with_deadline(looseness_min=1.2), st.sampled_from(METRICS))
+@settings(max_examples=60, deadline=None)
+def test_adaptive_degeneracy_stays_well_formed(graph, metric):
+    # Even when an adaptive metric overdraws a window, every produced
+    # window must stay monotone with a non-negative relative deadline.
+    platform = identical_platform(2)
+    a = distribute_deadlines(graph, platform, metric)
+    for tid in graph.task_ids():
+        w = a.window(tid)
+        assert w.relative_deadline >= -1e-9
+        assert w.arrival <= w.absolute_deadline + 1e-9
+
+
+@given(dag_with_deadline(), st.sampled_from(METRICS))
+@settings(max_examples=60, deadline=None)
+def test_slices_are_contiguous_within_paths(graph, metric):
+    # The defining property of the slicing technique: along a selected
+    # critical path, every task arrives exactly when its predecessor's
+    # window closes — no gaps and no overlap.
+    platform = identical_platform(2)
+    a = distribute_deadlines(graph, platform, metric)
+    for path in a.paths:
+        for prev, nxt in zip(path, path[1:]):
+            assert abs(
+                a.absolute_deadline(prev) - a.arrival(nxt)
+            ) <= 1e-6 * max(1.0, a.absolute_deadline(prev))
+        span = a.absolute_deadline(path[-1]) - a.arrival(path[0])
+        total = sum(a.relative_deadline(t) for t in path)
+        assert time_leq(abs(span - total), 1e-6 * max(1.0, span))
+
+
+@given(dag_with_deadline(), st.sampled_from(METRICS))
+@settings(max_examples=60, deadline=None)
+def test_determinism(graph, metric):
+    platform = identical_platform(3)
+    a1 = distribute_deadlines(graph, platform, metric)
+    a2 = distribute_deadlines(graph, platform, metric)
+    assert a1.to_dict() == a2.to_dict()
+
+
+@given(dag_with_deadline())
+@settings(max_examples=40, deadline=None)
+def test_paths_partition_tasks(graph):
+    platform = identical_platform(2)
+    a = distribute_deadlines(graph, platform, "ADAPT-L")
+    seen: set[str] = set()
+    for path in a.paths:
+        for tid in path:
+            assert tid not in seen  # each task assigned exactly once
+            seen.add(tid)
+    assert seen == set(graph.task_ids())

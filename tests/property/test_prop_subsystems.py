@@ -1,0 +1,81 @@
+"""Property-based tests for the assignment, bounds and trace subsystems."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign import cluster_assignment, exact_estimates
+from repro.analysis import is_certainly_infeasible
+from repro.core import distribute_deadlines
+from repro.sched import (
+    EdfListScheduler,
+    iter_events,
+    load_trace_csv,
+    save_trace_csv,
+    schedule_edf,
+)
+from repro.system import identical_platform
+
+from .strategies import dag_with_deadline, task_graphs
+
+
+@given(task_graphs(), st.integers(1, 4), st.floats(0.5, 3.0))
+@settings(max_examples=50, deadline=None)
+def test_clustering_covers_all_tasks_eligibly(graph, m, balance):
+    platform = identical_platform(m)
+    assignment = cluster_assignment(graph, platform, balance_factor=balance)
+    assert set(assignment.mapping) == set(graph.task_ids())
+    for task in graph.tasks():
+        proc = assignment.processor_of(task.id)
+        assert task.is_eligible(platform.class_of(proc))
+    # exact estimates are defined and positive for every task
+    exact = exact_estimates(graph, platform, assignment)
+    assert all(v > 0 for v in exact.values())
+
+
+@given(task_graphs())
+@settings(max_examples=40, deadline=None)
+def test_clustering_zeroed_traffic_bounded_by_total(graph):
+    platform = identical_platform(2)
+    assignment = cluster_assignment(graph, platform)
+    total = sum(size for _, _, size in graph.edges())
+    assert 0.0 <= assignment.zeroed_traffic <= total + 1e-9
+    # zeroed traffic is exactly the intra-processor message volume
+    intra = sum(
+        size
+        for src, dst, size in graph.edges()
+        if assignment.processor_of(src) == assignment.processor_of(dst)
+    )
+    assert abs(assignment.zeroed_traffic - intra) <= 1e-9
+
+
+@given(dag_with_deadline(), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_infeasibility_screen_is_sound_vs_edf(graph, m):
+    # Necessary condition: if the screen fires, EDF must fail too.
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, "PURE")
+    if is_certainly_infeasible(graph, platform, assignment):
+        assert not schedule_edf(graph, platform, assignment).feasible
+
+
+@given(dag_with_deadline(), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_trace_round_trip(tmp_path_factory, graph, m):
+    platform = identical_platform(m)
+    assignment = distribute_deadlines(graph, platform, "NORM")
+    sched = EdfListScheduler(continue_on_miss=True).schedule(
+        graph, platform, assignment
+    )
+    path = tmp_path_factory.mktemp("traces") / "t.csv"
+    save_trace_csv(sched, path)
+    again = load_trace_csv(path)
+    assert len(again) == len(sched)
+    for e in sched:
+        e2 = again.entry(e.task_id)
+        assert e2.processor == e.processor
+        assert abs(e2.start - e.start) <= 1e-9 * max(1.0, e.start)
+    # events pair up and are chronological
+    events = iter_events(again)
+    times = [ev.time for ev in events]
+    assert times == sorted(times)
+    assert len(events) == 2 * len(again)

@@ -1,0 +1,97 @@
+"""Unit tests for the simulated-annealing scheduler (cf. [15])."""
+
+import pytest
+
+from repro.core import DeadlineAssignment, TaskWindow, distribute_deadlines
+from repro.errors import SchedulingError
+from repro.graph import GraphBuilder
+from repro.sched import (
+    SimulatedAnnealingScheduler,
+    schedule_annealed,
+    schedule_edf,
+    validate_schedule,
+)
+from repro.system import identical_platform
+
+
+def windows(spec):
+    return DeadlineAssignment(
+        windows={tid: TaskWindow(a, d, a + d) for tid, (a, d) in spec.items()}
+    )
+
+
+class TestBasics:
+    def test_feasible_input_returns_immediately(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        s = schedule_annealed(chain3, uni2, a, iterations=10, seed=1)
+        assert s.feasible
+        assert s.scheduler_name == "SA-LIST"
+        assert validate_schedule(s, chain3, uni2, a) == []
+
+    def test_empty_graph_rejected(self, uni2):
+        from repro.graph import TaskGraph
+
+        with pytest.raises(SchedulingError):
+            schedule_annealed(TaskGraph(), uni2, windows({}))
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SchedulingError):
+            SimulatedAnnealingScheduler(iterations=-1)
+        with pytest.raises(SchedulingError):
+            SimulatedAnnealingScheduler(cooling=0.0)
+        with pytest.raises(SchedulingError):
+            SimulatedAnnealingScheduler(initial_temperature=0.0)
+
+    def test_deterministic_given_seed(self, diamond, uni2):
+        a = distribute_deadlines(diamond, uni2, "PURE")
+        s1 = schedule_annealed(diamond, uni2, a, iterations=50, seed=9)
+        s2 = schedule_annealed(diamond, uni2, a, iterations=50, seed=9)
+        assert s1.to_dict() == s2.to_dict()
+
+
+class TestRepair:
+    def anomaly(self):
+        """The order-swap case that defeats one-shot EDF commitment."""
+        g = GraphBuilder().task("early", 6).task("late", 2).build()
+        p = identical_platform(1)
+        a = windows({"early": (0, 9), "late": (6, 2.5)})
+        return g, p, a
+
+    def test_anneal_repairs_edf_miss(self):
+        g, p, a = self.anomaly()
+        assert not schedule_edf(g, p, a).feasible
+        s = schedule_annealed(g, p, a, iterations=200, seed=3)
+        assert s.feasible
+        assert validate_schedule(s, g, p, a) == []
+
+    def test_zero_iterations_equals_edf_verdict(self):
+        g, p, a = self.anomaly()
+        s = schedule_annealed(g, p, a, iterations=0, seed=0)
+        assert not s.feasible
+        assert s.failed_task is not None
+        assert s.failure_reason
+
+    def test_never_worse_than_edf_baseline(self):
+        """The annealer keeps the best-ever state, which includes the
+        EDF starting point, so its tardiness never exceeds EDF's."""
+        from repro.rng import make_rng
+        from repro.workload import WorkloadParams, generate_workload
+        from repro.sched import EdfListScheduler
+
+        params = WorkloadParams(
+            m=2, n_tasks_range=(10, 14), depth_range=(4, 6), olr=0.55
+        )
+        for seed in range(6):
+            wl = generate_workload(params, make_rng(seed))
+            a = distribute_deadlines(wl.graph, wl.platform, "PURE")
+            edf = EdfListScheduler(continue_on_miss=True).schedule(
+                wl.graph, wl.platform, a
+            )
+            edf_tardiness = sum(
+                max(0.0, e.lateness) for e in edf
+            )
+            sa = schedule_annealed(
+                wl.graph, wl.platform, a, iterations=80, seed=seed
+            )
+            sa_tardiness = sum(max(0.0, e.lateness) for e in sa)
+            assert sa_tardiness <= edf_tardiness + 1e-9

@@ -1,0 +1,137 @@
+"""Unit tests for the branch-and-bound scheduler (§1 [3,4], §7.2)."""
+
+import pytest
+
+from repro.core import DeadlineAssignment, TaskWindow, distribute_deadlines
+from repro.errors import SchedulingError
+from repro.graph import GraphBuilder, chain_graph
+from repro.sched import (
+    BnbStatus,
+    BranchAndBoundScheduler,
+    schedule_branch_and_bound,
+    schedule_edf,
+    validate_schedule,
+)
+from repro.system import identical_platform
+
+
+def windows(spec):
+    return DeadlineAssignment(
+        windows={tid: TaskWindow(a, d, a + d) for tid, (a, d) in spec.items()}
+    )
+
+
+class TestBasics:
+    def test_finds_edf_solution_without_backtracking(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        result = schedule_branch_and_bound(chain3, uni2, a)
+        assert result.status is BnbStatus.FEASIBLE
+        assert result.feasible and result.proved
+        # EDF already solves this; the first dive must succeed:
+        # exactly one node per task.
+        assert result.nodes_explored == chain3.n_tasks
+        assert validate_schedule(result.schedule, chain3, uni2, a) == []
+
+    def test_missing_window_raises(self, chain3, uni2):
+        with pytest.raises(SchedulingError):
+            schedule_branch_and_bound(chain3, uni2, windows({"a": (0, 10)}))
+
+    def test_task_with_no_eligible_processor_is_infeasible(self, uni2):
+        g = GraphBuilder().task("x", {"gpu": 5.0}).build()
+        result = schedule_branch_and_bound(g, uni2, windows({"x": (0, 50)}))
+        assert result.status is BnbStatus.INFEASIBLE
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SchedulingError):
+            BranchAndBoundScheduler(node_budget=0)
+        with pytest.raises(SchedulingError):
+            BranchAndBoundScheduler(branch_width=0)
+
+
+class TestBeyondEdf:
+    def test_recovers_from_edf_commitment_anomaly(self):
+        """A case where list-EDF fails but a feasible order exists.
+
+        One processor.  ``early`` spans [0, 9] with c = 6; ``late``
+        spans [6, 8.5] with c = 2.  EDF commits ``late`` first (earlier
+        absolute deadline), idling the processor over [0, 6) and
+        pushing ``early`` to finish at 14 > 9.  Running ``early`` first
+        (0–6, then 6–8) meets both deadlines; branch-and-bound finds it
+        by backtracking out of the EDF order.
+        """
+        g = GraphBuilder().task("early", 6).task("late", 2).build()
+        p = identical_platform(1)
+        a = windows({"early": (0, 9), "late": (6, 2.5)})
+        edf = schedule_edf(g, p, a)
+        assert not edf.feasible
+        result = schedule_branch_and_bound(g, p, a)
+        assert result.status is BnbStatus.FEASIBLE
+        s = result.schedule
+        assert s.start_time("early") == 0.0
+        assert s.start_time("late") == 6.0
+        assert validate_schedule(s, g, p, a) == []
+
+    def test_proves_infeasibility(self):
+        g = chain_graph([10, 10], e2e_deadline=15.0)
+        p = identical_platform(2)
+        a = windows({"t0": (0, 7), "t1": (7, 8)})
+        result = schedule_branch_and_bound(g, p, a)
+        assert result.status is BnbStatus.INFEASIBLE
+        assert result.proved
+
+    def test_budget_exhaustion_reports_unknown(self):
+        # Overconstrained wide graph with a one-node budget.
+        g = GraphBuilder().task("x", 10).task("y", 10).task("z", 10).build()
+        p = identical_platform(1)
+        a = windows({t: (0, 25) for t in ("x", "y", "z")})
+        result = BranchAndBoundScheduler(node_budget=1).solve(g, p, a)
+        assert result.status is BnbStatus.UNKNOWN
+        assert not result.proved
+
+    def test_beam_width_cannot_prove_infeasibility(self):
+        g = chain_graph([10, 10], e2e_deadline=15.0)
+        p = identical_platform(1)
+        a = windows({"t0": (0, 7), "t1": (7, 8)})
+        result = BranchAndBoundScheduler(branch_width=1).solve(g, p, a)
+        assert result.status is BnbStatus.UNKNOWN
+
+
+class TestAgainstOracle:
+    def test_agrees_with_edf_on_random_workloads(self):
+        """Whenever EDF succeeds, B&B must succeed (it subsumes EDF)."""
+        from repro.rng import make_rng
+        from repro.workload import WorkloadParams, generate_workload
+
+        params = WorkloadParams(
+            m=2, n_tasks_range=(10, 14), depth_range=(4, 6)
+        )
+        edf_feasible = bnb_feasible = 0
+        for seed in range(12):
+            wl = generate_workload(params, make_rng(seed))
+            a = distribute_deadlines(wl.graph, wl.platform, "ADAPT-L")
+            edf = schedule_edf(wl.graph, wl.platform, a)
+            bnb = schedule_branch_and_bound(
+                wl.graph, wl.platform, a, node_budget=50_000
+            )
+            if edf.feasible:
+                edf_feasible += 1
+                assert bnb.status is BnbStatus.FEASIBLE
+            if bnb.feasible:
+                bnb_feasible += 1
+                problems = validate_schedule(
+                    bnb.schedule, wl.graph, wl.platform, a
+                )
+                assert problems == []
+        assert bnb_feasible >= edf_feasible
+
+    def test_respects_resources(self, uni2):
+        g = (
+            GraphBuilder()
+            .task("x", 10, resources=["db"])
+            .task("y", 10, resources=["db"])
+            .build()
+        )
+        a = windows({"x": (0, 40), "y": (0, 40)})
+        result = schedule_branch_and_bound(g, uni2, a)
+        assert result.feasible
+        assert validate_schedule(result.schedule, g, uni2, a) == []

@@ -1,0 +1,134 @@
+"""Unit tests for time-driven dispatch tables (§3.3)."""
+
+import pytest
+
+from repro.core import distribute_deadlines
+from repro.errors import SchedulingError
+from repro.sched import (
+    DispatchEntry,
+    DispatchTable,
+    build_dispatch_tables,
+    idle_gaps,
+    schedule_edf,
+    total_idle,
+)
+from repro.system import identical_platform
+
+
+@pytest.fixture
+def tables(chain3, uni2):
+    a = distribute_deadlines(chain3, uni2, "PURE")
+    s = schedule_edf(chain3, uni2, a)
+    return build_dispatch_tables(s, uni2, cycle_length=100.0), s
+
+
+class TestDispatchTable:
+    def test_entries_sorted_and_validated(self):
+        t = DispatchTable(
+            "p1",
+            50.0,
+            [DispatchEntry(20, 30, "b"), DispatchEntry(0, 10, "a")],
+        )
+        assert [e.task_id for e in t.entries] == ["a", "b"]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SchedulingError):
+            DispatchTable(
+                "p1",
+                50.0,
+                [DispatchEntry(0, 10, "a"), DispatchEntry(5, 15, "b")],
+            )
+
+    def test_overhang_rejected(self):
+        with pytest.raises(SchedulingError):
+            DispatchTable("p1", 50.0, [DispatchEntry(45, 55, "a")])
+
+    def test_bad_cycle_rejected(self):
+        with pytest.raises(SchedulingError):
+            DispatchTable("p1", 0.0, [])
+
+    def test_running_at_is_cyclic(self):
+        t = DispatchTable("p1", 50.0, [DispatchEntry(10, 20, "a")])
+        assert t.running_at(15.0) == "a"
+        assert t.running_at(65.0) == "a"  # next cycle
+        assert t.running_at(5.0) is None
+        assert t.running_at(20.0) is None  # end-exclusive
+
+    def test_utilization_and_gaps(self):
+        t = DispatchTable(
+            "p1",
+            50.0,
+            [DispatchEntry(10, 20, "a"), DispatchEntry(30, 40, "b")],
+        )
+        assert t.busy_time() == 20.0
+        assert t.utilization() == pytest.approx(0.4)
+        assert t.gaps() == [(0.0, 10.0), (20.0, 30.0), (40.0, 50.0)]
+
+    def test_to_dict(self):
+        t = DispatchTable("p1", 50.0, [DispatchEntry(0, 10, "a")])
+        doc = t.to_dict()
+        assert doc["processor"] == "p1"
+        assert doc["entries"][0]["task"] == "a"
+
+
+class TestBuildTables:
+    def test_every_processor_gets_a_table(self, tables):
+        built, sched = tables
+        assert set(built) == {"p1", "p2"}
+        names = {
+            e.task_id for t in built.values() for e in t.entries
+        }
+        assert names == set(sched.entries)
+
+    def test_tables_agree_with_schedule(self, tables):
+        built, sched = tables
+        for entry in sched:
+            table = built[entry.processor]
+            mid = (entry.start + entry.finish) / 2.0
+            assert table.running_at(mid) == entry.task_id
+
+    def test_default_cycle_covers_makespan(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        s = schedule_edf(chain3, uni2, a)
+        built = build_dispatch_tables(s, uni2)
+        assert all(t.cycle_length >= s.makespan for t in built.values())
+        assert all(
+            t.cycle_length == int(t.cycle_length) for t in built.values()
+        )
+
+    def test_too_short_cycle_rejected(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        s = schedule_edf(chain3, uni2, a)
+        with pytest.raises(SchedulingError):
+            build_dispatch_tables(s, uni2, cycle_length=10.0)
+
+    def test_idle_accounting(self, tables):
+        built, sched = tables
+        gaps = idle_gaps(built)
+        busy = sum(t.busy_time() for t in built.values())
+        idle = total_idle(built)
+        assert busy + idle == pytest.approx(2 * 100.0)
+        gap_total = sum(
+            b - a for proc in gaps.values() for a, b in proc
+        )
+        assert gap_total == pytest.approx(idle)
+
+    def test_periodic_pipeline_dispatch(self, uni2):
+        """A planning cycle's schedule becomes a repeating table."""
+        from repro.graph import GraphBuilder
+        from repro.periodic import expand_periodic_graph
+
+        g = (
+            GraphBuilder()
+            .task("s", 10, period=80.0).task("t", 10, period=80.0)
+            .edge("s", "t").e2e("s", "t", 60)
+            .build()
+        )
+        unrolled = expand_periodic_graph(g, 160.0)
+        a = distribute_deadlines(unrolled, uni2, "PURE")
+        s = schedule_edf(unrolled, uni2, a)
+        assert s.feasible
+        built = build_dispatch_tables(s, uni2, cycle_length=160.0)
+        # invocation 1 and 2 appear in the same cyclic program
+        names = {e.task_id for t in built.values() for e in t.entries}
+        assert {"s#1", "s#2", "t#1", "t#2"} <= names

@@ -1,0 +1,204 @@
+"""Unit tests for the EDF list scheduler (§5.4)."""
+
+import pytest
+
+from repro.core import DeadlineAssignment, TaskWindow, distribute_deadlines
+from repro.errors import SchedulingError
+from repro.graph import GraphBuilder, chain_graph
+from repro.sched import EdfListScheduler, schedule_edf, validate_schedule
+from repro.system import (
+    ContentionBus,
+    Platform,
+    Processor,
+    ProcessorClass,
+    SharedBus,
+    identical_platform,
+)
+
+
+def windows(spec):
+    return DeadlineAssignment(
+        windows={
+            tid: TaskWindow(a, d, a + d) for tid, (a, d) in spec.items()
+        }
+    )
+
+
+class TestBasicPlacement:
+    def test_chain_runs_back_to_back(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        s = schedule_edf(chain3, uni2, a)
+        assert s.feasible
+        assert s.start_time("a") == 0.0
+        assert s.start_time("b") == pytest.approx(a.arrival("b"))
+        assert validate_schedule(s, chain3, uni2, a) == []
+
+    def test_parallel_tasks_use_both_processors(self, uni2):
+        g = (
+            GraphBuilder()
+            .task("x", 10).task("y", 10)
+            .build()
+        )
+        a = windows({"x": (0, 20), "y": (0, 20)})
+        s = schedule_edf(g, uni2, a)
+        assert s.feasible
+        assert s.processor_of("x") != s.processor_of("y")
+
+    def test_edf_order_on_single_processor(self):
+        g = GraphBuilder().task("late", 5).task("soon", 5).build()
+        a = windows({"late": (0, 50), "soon": (0, 12)})
+        s = schedule_edf(g, identical_platform(1), a)
+        assert s.feasible
+        # 'soon' has the earlier absolute deadline -> runs first
+        assert s.start_time("soon") == 0.0
+        assert s.start_time("late") == 5.0
+
+    def test_start_respects_arrival(self, uni2):
+        g = GraphBuilder().task("x", 5).build()
+        a = windows({"x": (30, 20)})
+        s = schedule_edf(g, uni2, a)
+        assert s.start_time("x") == 30.0
+
+    def test_missing_window_raises(self, chain3, uni2):
+        with pytest.raises(SchedulingError):
+            schedule_edf(chain3, uni2, windows({"a": (0, 30)}))
+
+
+class TestCommunication:
+    def test_cross_processor_message_delays_successor(self):
+        # Force the successor onto another processor by occupying p1:
+        # a(10) -> b, message 5 items at 1 unit/item.
+        g = (
+            GraphBuilder()
+            .task("a", 10).task("b", 10)
+            .edge("a", "b", message=5)
+            .build()
+        )
+        p = identical_platform(1)
+        a = windows({"a": (0, 15), "b": (15, 20)})
+        s = schedule_edf(g, p, a)
+        # same processor: no communication cost
+        assert s.start_time("b") == pytest.approx(15.0)
+
+        # Occupy a's processor with a decoy so b must go elsewhere.
+        p2 = identical_platform(2)
+        g2 = (
+            GraphBuilder()
+            .task("a", 10).task("decoy", 40).task("b", 10)
+            .edge("a", "b", message=5)
+            .edge("a", "decoy")
+            .build()
+        )
+        a2 = windows({"a": (0, 12), "decoy": (12, 41), "b": (12, 48)})
+        s2 = schedule_edf(g2, p2, a2)
+        assert s2.feasible
+        assert s2.processor_of("decoy") == s2.processor_of("a")
+        assert s2.processor_of("b") != s2.processor_of("a")
+        # data ready at finish(a)=10 + 5 items = 15 > arrival 12
+        assert s2.start_time("b") == pytest.approx(15.0)
+
+    def test_contention_bus_queues_transfers(self):
+        # Cross-joined producers force one bus transfer per consumer;
+        # the serialized bus delays the second one.
+        g = (
+            GraphBuilder()
+            .task("a1", 10).task("a2", 10).task("b1", 10).task("b2", 10)
+            .edge("a1", "b1", message=10).edge("a2", "b1", message=10)
+            .edge("a1", "b2", message=10).edge("a2", "b2", message=10)
+            .build()
+        )
+        p = identical_platform(2)
+        a = windows(
+            {"a1": (0, 10), "a2": (0, 10), "b1": (10, 60), "b2": (10, 60)}
+        )
+        nominal = schedule_edf(g, p, a)
+        assert nominal.feasible
+        # nominal: each consumer waits one parallel transfer (10+10=20)
+        assert max(nominal.start_time(t) for t in ("b1", "b2")) == 20.0
+
+        contended = schedule_edf(g, p, a, comm=ContentionBus(1.0))
+        assert contended.feasible
+        # serialized transfers: the later consumer's data arrives at 30
+        assert max(
+            contended.start_time(t) for t in ("b1", "b2")
+        ) == pytest.approx(30.0)
+
+
+class TestEligibility:
+    def test_task_placed_on_eligible_class_only(self, hetero_graph, hetero_platform):
+        a = distribute_deadlines(hetero_graph, hetero_platform, "PURE")
+        s = schedule_edf(hetero_graph, hetero_platform, a)
+        assert s.feasible
+        # task c is slow-only
+        assert hetero_platform.class_of(s.processor_of("c")) == "slow"
+        assert validate_schedule(s, hetero_graph, hetero_platform, a) == []
+
+    def test_no_eligible_processor_fails_gracefully(self, hetero_platform):
+        g = GraphBuilder().task("x", {"gpu": 5.0}).build()
+        s = schedule_edf(g, hetero_platform, windows({"x": (0, 50)}))
+        assert not s.feasible
+        assert "no eligible processor" in s.failure_reason
+
+
+class TestFailureModes:
+    def test_fail_fast_on_miss(self):
+        g = chain_graph([10, 10], e2e_deadline=15.0)
+        p = identical_platform(1)
+        a = windows({"t0": (0, 8), "t1": (8, 7)})  # t0 cannot fit
+        s = schedule_edf(g, p, a)
+        assert not s.feasible
+        assert s.failed_task == "t0"
+        assert len(s.entries) == 0  # stopped before committing
+
+    def test_continue_on_miss_completes_schedule(self):
+        g = chain_graph([10, 10])
+        p = identical_platform(1)
+        a = windows({"t0": (0, 8), "t1": (8, 7)})
+        s = EdfListScheduler(continue_on_miss=True).schedule(g, p, a)
+        assert not s.feasible
+        assert len(s.entries) == 2
+        assert s.max_lateness() > 0.0
+
+    def test_failure_reason_mentions_deadline(self):
+        g = chain_graph([10, 10])
+        a = windows({"t0": (0, 5), "t1": (5, 30)})
+        s = schedule_edf(g, identical_platform(1), a)
+        assert "past its absolute deadline" in s.failure_reason
+
+
+class TestResources:
+    def test_shared_resource_serializes_parallel_tasks(self, uni2):
+        g = (
+            GraphBuilder()
+            .task("x", 10, resources=["db"])
+            .task("y", 10, resources=["db"])
+            .build()
+        )
+        a = windows({"x": (0, 40), "y": (0, 40)})
+        s = schedule_edf(g, uni2, a)
+        assert s.feasible
+        # despite two processors, the shared resource forbids overlap
+        first, second = sorted(
+            (s.entry("x"), s.entry("y")), key=lambda e: e.start
+        )
+        assert second.start >= first.finish - 1e-9
+        assert validate_schedule(s, g, uni2, a) == []
+
+    def test_disjoint_resources_run_in_parallel(self, uni2):
+        g = (
+            GraphBuilder()
+            .task("x", 10, resources=["db1"])
+            .task("y", 10, resources=["db2"])
+            .build()
+        )
+        a = windows({"x": (0, 40), "y": (0, 40)})
+        s = schedule_edf(g, uni2, a)
+        assert s.start_time("x") == s.start_time("y") == 0.0
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self, diamond, uni2):
+        a = distribute_deadlines(diamond, uni2, "ADAPT-L")
+        s1 = schedule_edf(diamond, uni2, a)
+        s2 = schedule_edf(diamond, uni2, a)
+        assert s1.to_dict() == s2.to_dict()

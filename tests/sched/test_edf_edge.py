@@ -1,0 +1,92 @@
+"""Edge-case tests for the EDF list scheduler's interaction paths."""
+
+import pytest
+
+from repro.core import DeadlineAssignment, TaskWindow
+from repro.errors import SchedulingError
+from repro.graph import GraphBuilder, Task, TaskGraph
+from repro.sched import schedule_edf, validate_schedule
+from repro.system import ContentionBus, identical_platform
+
+
+def windows(spec):
+    return DeadlineAssignment(
+        windows={tid: TaskWindow(a, d, a + d) for tid, (a, d) in spec.items()}
+    )
+
+
+class TestContentionRecompute:
+    def test_contended_transfer_pushes_start_and_respects_resources(self):
+        """The recompute branch: bus contention moves the start past the
+        nominal estimate while resource serialization still holds."""
+        g = (
+            GraphBuilder()
+            .task("a1", 10).task("a2", 10)
+            .task("b1", 10, resources=["db"])
+            .task("b2", 10, resources=["db"])
+            .edge("a1", "b1", message=10).edge("a2", "b1", message=10)
+            .edge("a1", "b2", message=10).edge("a2", "b2", message=10)
+            .build()
+        )
+        p = identical_platform(2)
+        a = windows(
+            {"a1": (0, 10), "a2": (0, 10), "b1": (10, 80), "b2": (10, 80)}
+        )
+        s = schedule_edf(g, p, a, comm=ContentionBus(1.0))
+        assert s.feasible
+        # the bus serialized one transfer (20 -> 30) and the shared
+        # resource serialized the consumers on top of that
+        b1, b2 = s.entry("b1"), s.entry("b2")
+        first, second = sorted((b1, b2), key=lambda e: e.start)
+        assert first.start >= 20.0 - 1e-9
+        assert second.start >= first.finish - 1e-9
+        assert validate_schedule(s, g, p, a) == []
+
+    def test_contention_model_reset_between_runs(self):
+        g = (
+            GraphBuilder()
+            .task("a", 10).task("b", 10)
+            .edge("a", "b", message=10)
+            .build()
+        )
+        p = identical_platform(1)
+        a = windows({"a": (0, 10), "b": (10, 30)})
+        bus = ContentionBus(1.0)
+        s1 = schedule_edf(g, p, a, comm=bus)
+        s2 = schedule_edf(g, p, a, comm=bus)
+        assert s1.to_dict() == s2.to_dict()  # no leaked bus state
+
+
+class TestStructuralGuards:
+    def test_cyclic_graph_detected_via_stalled_queue(self):
+        g = TaskGraph()
+        for tid in "ab":
+            g.add_task(Task(id=tid, wcet={"default": 1.0}))
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        a = windows({"a": (0, 10), "b": (0, 10)})
+        with pytest.raises(SchedulingError):
+            schedule_edf(g, identical_platform(1), a)
+
+    def test_zero_message_crossing_processors_is_free(self):
+        g = (
+            GraphBuilder()
+            .task("a", 10).task("blocker", 25).task("b", 10)
+            .edge("a", "b", message=0)
+            .edge("a", "blocker")
+            .build()
+        )
+        p = identical_platform(2)
+        a = windows({"a": (0, 12), "blocker": (10, 27), "b": (10, 30)})
+        s = schedule_edf(g, p, a)
+        assert s.feasible
+        if s.processor_of("b") != s.processor_of("a"):
+            assert s.start_time("b") == pytest.approx(
+                max(10.0, s.finish_time("a"))
+            )
+
+    def test_single_task_graph(self):
+        g = GraphBuilder().task("only", 5).build()
+        s = schedule_edf(g, identical_platform(3), windows({"only": (0, 10)}))
+        assert s.feasible
+        assert s.makespan == 5.0

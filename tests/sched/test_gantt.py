@@ -1,0 +1,40 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+from repro.core import distribute_deadlines
+from repro.sched import Schedule, render_gantt, schedule_edf
+
+
+def test_empty_schedule(uni2):
+    assert "empty" in render_gantt(Schedule(), uni2)
+
+
+def test_renders_all_processors(chain3, uni2):
+    a = distribute_deadlines(chain3, uni2, "PURE")
+    s = schedule_edf(chain3, uni2, a)
+    out = render_gantt(s, uni2)
+    assert "p1" in out and "p2" in out
+    assert "feasible" in out
+
+
+def test_marks_infeasible(chain3, uni2):
+    from repro.core import DeadlineAssignment, TaskWindow
+
+    a = DeadlineAssignment(
+        windows={
+            "a": TaskWindow(0.0, 1.0, 1.0),
+            "b": TaskWindow(1.0, 1.0, 2.0),
+            "c": TaskWindow(2.0, 1.0, 3.0),
+        }
+    )
+    from repro.sched import EdfListScheduler
+
+    s = EdfListScheduler(continue_on_miss=True).schedule(chain3, uni2, a)
+    out = render_gantt(s, uni2)
+    assert "INFEASIBLE" in out
+
+
+def test_scales_to_width(chain3, uni2):
+    a = distribute_deadlines(chain3, uni2, "PURE")
+    s = schedule_edf(chain3, uni2, a)
+    out = render_gantt(s, uni2, width=40)
+    assert max(len(line) for line in out.splitlines()) <= 60

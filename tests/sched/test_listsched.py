@@ -1,0 +1,122 @@
+"""Unit tests for the alternative list-scheduling policies (§7.3)."""
+
+import pytest
+
+from repro.core import DeadlineAssignment, TaskWindow, distribute_deadlines
+from repro.errors import SchedulingError
+from repro.graph import GraphBuilder
+from repro.sched import (
+    SCHEDULER_NAMES,
+    FifoScheduler,
+    LaxityScheduler,
+    StaticLevelScheduler,
+    get_scheduler,
+    validate_schedule,
+)
+from repro.system import identical_platform
+
+
+def windows(spec):
+    return DeadlineAssignment(
+        windows={tid: TaskWindow(a, d, a + d) for tid, (a, d) in spec.items()}
+    )
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", SCHEDULER_NAMES)
+    def test_lookup_all(self, name):
+        assert get_scheduler(name).name == name
+
+    def test_aliases(self):
+        assert get_scheduler("hlfet").name == "SL-LIST"
+        assert get_scheduler("edf").name == "EDF-LIST"
+        assert get_scheduler("llf").name == "LLF-LIST"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SchedulingError):
+            get_scheduler("RANDOM")
+
+    def test_continue_on_miss_forwarded(self):
+        s = get_scheduler("SL-LIST", continue_on_miss=True)
+        assert s.continue_on_miss
+
+
+class TestPriorityRules:
+    def test_static_level_prefers_critical_chain(self):
+        # Two independent tasks: 'long' heads a heavy chain, 'short'
+        # stands alone; HLFET must dispatch 'long' first even though
+        # 'short' has the earlier deadline.
+        g = (
+            GraphBuilder()
+            .task("long", 10).task("tail", 30).task("short", 10)
+            .edge("long", "tail")
+            .build()
+        )
+        a = windows({"long": (0, 90), "tail": (0, 95), "short": (0, 15)})
+        p = identical_platform(1)
+        s = StaticLevelScheduler(continue_on_miss=True).schedule(g, p, a)
+        assert s.start_time("long") < s.start_time("short")
+
+    def test_fifo_follows_arrival_order(self):
+        g = GraphBuilder().task("a", 5).task("b", 5).build()
+        # b arrives earlier but has the later deadline
+        a = windows({"a": (10, 15), "b": (0, 40)})
+        p = identical_platform(1)
+        s = FifoScheduler().schedule(g, p, a)
+        assert s.start_time("b") < s.start_time("a")
+
+    def test_llf_prefers_tight_windows(self):
+        g = GraphBuilder().task("tight", 10).task("loose", 10).build()
+        a = windows({"tight": (0, 12), "loose": (0, 50)})
+        p = identical_platform(1)
+        s = LaxityScheduler().schedule(g, p, a)
+        assert s.start_time("tight") == 0.0
+
+    def test_edf_differs_from_sl_on_crafted_case(self):
+        g = (
+            GraphBuilder()
+            .task("long", 10).task("tail", 30).task("short", 10)
+            .edge("long", "tail")
+            .build()
+        )
+        a = windows({"long": (0, 90), "tail": (0, 95), "short": (0, 15)})
+        p = identical_platform(1)
+        edf = get_scheduler("EDF-LIST", continue_on_miss=True).schedule(g, p, a)
+        sl = get_scheduler("SL-LIST", continue_on_miss=True).schedule(g, p, a)
+        assert edf.start_time("short") < sl.start_time("short")
+
+
+class TestStructuralValidity:
+    @pytest.mark.parametrize("name", SCHEDULER_NAMES)
+    def test_all_policies_produce_valid_schedules(self, name, diamond, uni2):
+        assignment = distribute_deadlines(diamond, uni2, "ADAPT-L")
+        sched = get_scheduler(name, continue_on_miss=True).schedule(
+            diamond, uni2, assignment
+        )
+        assert len(sched.entries) == diamond.n_tasks
+        problems = validate_schedule(
+            sched, diamond, uni2, assignment, check_deadlines=False
+        )
+        assert problems == [], (name, problems)
+        assert sched.scheduler_name == name
+
+
+class TestTrialIntegration:
+    def test_run_trial_with_alternative_scheduler(self):
+        from repro.experiments import TrialConfig, run_trial
+        from repro.workload import WorkloadParams
+
+        fast = WorkloadParams(m=3, n_tasks_range=(12, 16), depth_range=(4, 6))
+        for name in SCHEDULER_NAMES:
+            out = run_trial(
+                TrialConfig(workload=fast, scheduler=name), seed=77
+            )
+            assert isinstance(out.success, bool)
+
+    def test_abl_sched_figure_registered(self):
+        from repro.experiments import get_figure_spec
+
+        spec = get_figure_spec("abl-sched")
+        assert set(spec.series) == set(SCHEDULER_NAMES)
+        cfg = spec.config_for(0.8, "FIFO-LIST")
+        assert cfg.scheduler == "FIFO-LIST"

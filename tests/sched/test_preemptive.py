@@ -1,0 +1,104 @@
+"""Unit tests for the preemptive EDF extension (§7.3)."""
+
+import pytest
+
+from repro.core import DeadlineAssignment, TaskWindow, distribute_deadlines
+from repro.errors import SchedulingError
+from repro.graph import GraphBuilder, chain_graph
+from repro.sched import schedule_edf, schedule_preemptive_edf
+from repro.system import identical_platform
+
+
+def windows(spec):
+    return DeadlineAssignment(
+        windows={tid: TaskWindow(a, d, a + d) for tid, (a, d) in spec.items()}
+    )
+
+
+class TestBasics:
+    def test_chain_meets_deadlines(self, chain3, uni2):
+        a = distribute_deadlines(chain3, uni2, "PURE")
+        s = schedule_preemptive_edf(chain3, uni2, a)
+        assert s.feasible
+        assert len(s.entries) == 3
+        # precedence respected: b completes after a
+        assert s.finish_time("b") > s.finish_time("a")
+
+    def test_rejects_heterogeneous_platform(self, hetero_graph, hetero_platform):
+        a = distribute_deadlines(hetero_graph, hetero_platform, "PURE")
+        with pytest.raises(SchedulingError):
+            schedule_preemptive_edf(hetero_graph, hetero_platform, a)
+
+    def test_ineligible_task_fails_gracefully(self, uni2):
+        g = GraphBuilder().task("x", {"gpu": 5.0}).build()
+        s = schedule_preemptive_edf(g, uni2, windows({"x": (0, 50)}))
+        assert not s.feasible
+        assert "ineligible" in s.failure_reason
+
+
+class TestPreemptionAdvantage:
+    def test_preemption_rescues_tight_late_arrival(self):
+        """A classic non-preemptive anomaly the preemptive policy fixes.
+
+        One processor: a long job L with a loose deadline starts first;
+        an urgent job U arrives while L runs and cannot wait for L's
+        completion.  Non-preemptive EDF misses U; preemptive EDF
+        suspends L and meets both.
+        """
+        g = GraphBuilder().task("L", 20).task("U", 5).build()
+        p = identical_platform(1)
+        # U releases at 10 with deadline 16; L spans [0, 30].  The
+        # non-preemptive list scheduler commits U first (earlier
+        # absolute deadline), idles the processor until 10, and then
+        # cannot fit L by 30.  Preemptive EDF runs L at 0, suspends it
+        # for U at 10, and finishes L at 25.
+        a = windows({"L": (0, 30), "U": (10, 6)})
+        nonpre = schedule_edf(g, p, a)
+        assert not nonpre.feasible
+        pre = schedule_preemptive_edf(g, p, a)
+        assert pre.feasible
+        assert pre.finish_time("U") == pytest.approx(15.0)
+        assert pre.finish_time("L") == pytest.approx(25.0)
+
+    def test_m_processors_run_m_jobs(self, uni2):
+        g = (
+            GraphBuilder()
+            .task("x", 10).task("y", 10).task("z", 10)
+            .build()
+        )
+        a = windows({"x": (0, 30), "y": (0, 30), "z": (0, 30)})
+        s = schedule_preemptive_edf(g, uni2, a)
+        assert s.feasible
+        # makespan 20: two run immediately, the third follows
+        assert s.makespan == pytest.approx(20.0)
+
+
+class TestDeadlineMisses:
+    def test_overload_reports_failure(self):
+        g = GraphBuilder().task("x", 10).task("y", 10).build()
+        p = identical_platform(1)
+        a = windows({"x": (0, 12), "y": (0, 12)})
+        s = schedule_preemptive_edf(g, p, a)
+        assert not s.feasible
+        assert s.failed_task in {"x", "y"}
+
+    def test_deterministic(self, diamond, uni2):
+        a = distribute_deadlines(diamond, uni2, "PURE")
+        s1 = schedule_preemptive_edf(diamond, uni2, a)
+        s2 = schedule_preemptive_edf(diamond, uni2, a)
+        assert s1.to_dict() == s2.to_dict()
+
+
+class TestCommunication:
+    def test_cross_processor_delay_charged(self, uni2):
+        g = (
+            GraphBuilder()
+            .task("a", 10).task("b", 10)
+            .edge("a", "b", message=5)
+            .build()
+        )
+        a = windows({"a": (0, 20), "b": (0, 60)})
+        s = schedule_preemptive_edf(g, uni2, a)
+        assert s.feasible
+        # release of b = finish(a) + worst-case delay (5 items)
+        assert s.start_time("b") >= 15.0 - 1e-9

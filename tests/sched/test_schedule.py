@@ -1,0 +1,97 @@
+"""Unit tests for the Schedule container and quality measures (§4.2)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched import Schedule, ScheduledTask
+
+
+def entry(tid, proc, start, finish, arrival=0.0, deadline=100.0):
+    return ScheduledTask(
+        task_id=tid,
+        processor=proc,
+        start=start,
+        finish=finish,
+        arrival=arrival,
+        absolute_deadline=deadline,
+    )
+
+
+@pytest.fixture
+def sched():
+    s = Schedule(scheduler_name="TEST")
+    s.entries["a"] = entry("a", "p1", 0, 10, deadline=12)
+    s.entries["b"] = entry("b", "p2", 0, 20, deadline=25)
+    s.entries["c"] = entry("c", "p1", 10, 30, deadline=28)
+    return s
+
+
+class TestScheduledTask:
+    def test_execution_time(self):
+        assert entry("a", "p1", 5, 15).execution_time == 10
+
+    def test_lateness_sign(self):
+        assert entry("a", "p1", 0, 10, deadline=12).lateness == -2
+        assert entry("a", "p1", 0, 30, deadline=12).lateness == 18
+
+    def test_meets_deadline(self):
+        assert entry("a", "p1", 0, 12, deadline=12).meets_deadline
+        assert not entry("a", "p1", 0, 12.5, deadline=12).meets_deadline
+
+
+class TestMeasures:
+    def test_makespan(self, sched):
+        assert sched.makespan == 30
+
+    def test_makespan_empty(self):
+        assert Schedule().makespan == 0.0
+
+    def test_max_lateness(self, sched):
+        assert sched.max_lateness() == 2  # task c: 30 - 28
+
+    def test_max_lateness_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            Schedule().max_lateness()
+
+    def test_missed_tasks(self, sched):
+        assert sched.missed_tasks() == ["c"]
+
+    def test_tasks_on_sorted_by_start(self, sched):
+        rows = sched.tasks_on("p1")
+        assert [e.task_id for e in rows] == ["a", "c"]
+
+    def test_processor_load(self, sched):
+        assert sched.processor_load() == {"p1": 30.0, "p2": 20.0}
+
+    def test_utilization(self, sched):
+        assert sched.utilization() == pytest.approx(50.0 / 60.0)
+        assert sched.utilization(m=4) == pytest.approx(50.0 / 120.0)
+
+    def test_utilization_empty(self):
+        assert Schedule().utilization() == 0.0
+
+
+class TestAccessors:
+    def test_entry_lookup(self, sched):
+        assert sched.processor_of("a") == "p1"
+        assert sched.start_time("c") == 10
+        assert sched.finish_time("b") == 20
+        with pytest.raises(SchedulingError):
+            sched.entry("zzz")
+
+    def test_container_protocol(self, sched):
+        assert "a" in sched and len(sched) == 3
+        assert {e.task_id for e in sched} == {"a", "b", "c"}
+
+
+class TestSerialization:
+    def test_round_trip(self, sched):
+        sched.feasible = False
+        sched.failed_task = "c"
+        sched.failure_reason = "late"
+        s2 = Schedule.from_dict(sched.to_dict())
+        assert s2.scheduler_name == "TEST"
+        assert not s2.feasible
+        assert s2.failed_task == "c"
+        assert s2.entry("b") == sched.entry("b")
+        assert len(s2) == 3

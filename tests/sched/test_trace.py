@@ -1,0 +1,89 @@
+"""Unit tests for schedule trace export/import."""
+
+import pytest
+
+from repro.core import distribute_deadlines
+from repro.errors import SerializationError
+from repro.sched import (
+    iter_events,
+    load_trace_csv,
+    save_trace_csv,
+    schedule_edf,
+)
+
+
+@pytest.fixture
+def sched(chain3, uni2):
+    a = distribute_deadlines(chain3, uni2, "PURE")
+    return schedule_edf(chain3, uni2, a)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, sched, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(sched, path)
+        again = load_trace_csv(path)
+        assert len(again) == len(sched)
+        for e in sched:
+            e2 = again.entry(e.task_id)
+            assert e2.processor == e.processor
+            assert e2.start == pytest.approx(e.start)
+            assert e2.finish == pytest.approx(e.finish)
+        assert again.feasible == sched.feasible
+
+    def test_rows_ordered_by_start(self, sched, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(sched, path)
+        lines = path.read_text().splitlines()
+        starts = [float(line.split(",")[2]) for line in lines[1:]]
+        assert starts == sorted(starts)
+
+    def test_feasibility_recomputed(self, chain3, uni2, tmp_path):
+        from repro.core import DeadlineAssignment, TaskWindow
+        from repro.sched import EdfListScheduler
+
+        a = DeadlineAssignment(
+            windows={
+                t: TaskWindow(0.0, 1.0, 1.0) for t in chain3.task_ids()
+            }
+        )
+        bad = EdfListScheduler(continue_on_miss=True).schedule(
+            chain3, uni2, a
+        )
+        path = tmp_path / "bad.csv"
+        save_trace_csv(bad, path)
+        assert not load_trace_csv(path).feasible
+
+    def test_malformed_trace_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,really\n1,2\n")
+        with pytest.raises(SerializationError):
+            load_trace_csv(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_trace_csv(tmp_path / "ghost.csv")
+
+
+class TestEvents:
+    def test_chronological_and_paired(self, sched):
+        events = iter_events(sched)
+        assert len(events) == 2 * len(sched)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        for tid in ("a", "b", "c"):
+            kinds = [e.kind for e in events if e.task_id == tid]
+            assert kinds == ["start", "finish"]
+
+    def test_finish_precedes_start_on_ties(self, sched):
+        # chain: finish of a and start of b share the same instant
+        events = iter_events(sched)
+        a_fin = next(
+            i for i, e in enumerate(events)
+            if e.task_id == "a" and e.kind == "finish"
+        )
+        b_start = next(
+            i for i, e in enumerate(events)
+            if e.task_id == "b" and e.kind == "start"
+        )
+        assert a_fin < b_start

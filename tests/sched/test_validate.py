@@ -1,0 +1,147 @@
+"""Unit tests for the independent schedule validator (the oracle)."""
+
+import pytest
+
+from repro.core import DeadlineAssignment, TaskWindow, distribute_deadlines
+from repro.graph import GraphBuilder
+from repro.sched import (
+    Schedule,
+    ScheduledTask,
+    assert_valid_schedule,
+    schedule_edf,
+    validate_schedule,
+)
+from repro.system import identical_platform
+
+
+def put(s, tid, proc, start, finish, arrival=0.0, deadline=1000.0):
+    s.entries[tid] = ScheduledTask(
+        task_id=tid,
+        processor=proc,
+        start=start,
+        finish=finish,
+        arrival=arrival,
+        absolute_deadline=deadline,
+    )
+
+
+@pytest.fixture
+def g():
+    return (
+        GraphBuilder()
+        .task("a", 10).task("b", 10)
+        .edge("a", "b", message=4)
+        .e2e("a", "b", 100)
+        .build()
+    )
+
+
+@pytest.fixture
+def p():
+    return identical_platform(2)
+
+
+class TestCleanSchedule:
+    def test_edf_output_validates(self, g, p):
+        a = distribute_deadlines(g, p, "PURE")
+        s = schedule_edf(g, p, a)
+        assert validate_schedule(s, g, p, a) == []
+        assert_valid_schedule(s, g, p, a)
+
+
+class TestViolationDetection:
+    def test_missing_task_in_feasible_schedule(self, g, p):
+        s = Schedule(feasible=True)
+        put(s, "a", "p1", 0, 10)
+        assert any("missing task" in v for v in validate_schedule(s, g, p))
+
+    def test_unknown_task(self, g, p):
+        s = Schedule(feasible=False)
+        put(s, "ghost", "p1", 0, 10)
+        assert any("not in the graph" in v for v in validate_schedule(s, g, p))
+
+    def test_unknown_processor(self, g, p):
+        s = Schedule(feasible=False)
+        put(s, "a", "p99", 0, 10)
+        assert any(
+            "unknown processor" in v for v in validate_schedule(s, g, p)
+        )
+
+    def test_ineligible_placement(self, p):
+        g2 = GraphBuilder().task("x", {"gpu": 5.0}).build()
+        s = Schedule(feasible=False)
+        put(s, "x", "p1", 0, 5)
+        assert any("ineligible" in v for v in validate_schedule(s, g2, p))
+
+    def test_wrong_duration(self, g, p):
+        s = Schedule(feasible=False)
+        put(s, "a", "p1", 0, 7)  # WCET is 10
+        assert any("duration" in v for v in validate_schedule(s, g, p))
+
+    def test_processor_overlap(self, g, p):
+        s = Schedule(feasible=False)
+        put(s, "a", "p1", 0, 10)
+        put(s, "b", "p1", 5, 15)
+        assert any("overlaps" in v for v in validate_schedule(s, g, p))
+
+    def test_precedence_violation_includes_comm_delay(self, g, p):
+        s = Schedule(feasible=False)
+        put(s, "a", "p1", 0, 10)
+        # data-ready on p2 is 10 + 4 items = 14; starting at 12 is wrong
+        put(s, "b", "p2", 12, 22)
+        assert any("data-ready" in v for v in validate_schedule(s, g, p))
+
+    def test_precedence_ok_on_same_processor(self, g, p):
+        s = Schedule(feasible=False)
+        put(s, "a", "p1", 0, 10)
+        put(s, "b", "p1", 10, 20)
+        assert validate_schedule(s, g, p) == []
+
+    def test_start_before_arrival(self, g, p):
+        a = DeadlineAssignment(
+            windows={
+                "a": TaskWindow(5.0, 20.0, 25.0),
+                "b": TaskWindow(25.0, 20.0, 45.0),
+            }
+        )
+        s = Schedule(feasible=False)
+        put(s, "a", "p1", 0, 10)
+        assert any(
+            "before its arrival" in v for v in validate_schedule(s, g, p, a)
+        )
+
+    def test_deadline_miss_only_checked_when_feasible(self, g, p):
+        a = DeadlineAssignment(
+            windows={
+                "a": TaskWindow(0.0, 5.0, 5.0),
+                "b": TaskWindow(5.0, 50.0, 55.0),
+            }
+        )
+        s = Schedule(feasible=False)
+        put(s, "a", "p1", 0, 10)
+        put(s, "b", "p1", 10, 20)
+        # infeasible schedule: structural checks only
+        assert validate_schedule(s, g, p, a) == []
+        # but an explicit request re-enables the deadline check
+        assert any(
+            "past its absolute deadline" in v
+            for v in validate_schedule(s, g, p, a, check_deadlines=True)
+        )
+
+    def test_resource_overlap_detected(self, p):
+        g2 = (
+            GraphBuilder()
+            .task("x", 10, resources=["db"])
+            .task("y", 10, resources=["db"])
+            .build()
+        )
+        s = Schedule(feasible=False)
+        put(s, "x", "p1", 0, 10)
+        put(s, "y", "p2", 5, 15)
+        assert any("concurrently" in v for v in validate_schedule(s, g2, p))
+
+    def test_assert_valid_raises(self, g, p):
+        s = Schedule(feasible=False)
+        put(s, "a", "p1", 0, 7)
+        with pytest.raises(AssertionError):
+            assert_valid_schedule(s, g, p)

@@ -1,0 +1,105 @@
+"""Unit tests for the Platform model (§3.1)."""
+
+import pytest
+
+from repro.errors import EligibilityError, PlatformError, SerializationError
+from repro.graph import Task
+from repro.system import (
+    Platform,
+    Processor,
+    ProcessorClass,
+    SharedBus,
+    identical_platform,
+)
+from repro.system.platform import platform_from_dict, platform_to_dict
+
+
+class TestConstruction:
+    def test_needs_processors_and_classes(self):
+        with pytest.raises(PlatformError):
+            Platform([], [ProcessorClass("e1")])
+        with pytest.raises(PlatformError):
+            Platform([Processor("p1", "e1")], [])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform(
+                [Processor("p1", "e1"), Processor("p1", "e1")],
+                [ProcessorClass("e1")],
+            )
+        with pytest.raises(PlatformError):
+            Platform(
+                [Processor("p1", "e1")],
+                [ProcessorClass("e1"), ProcessorClass("e1")],
+            )
+
+    def test_unknown_class_reference_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform([Processor("p1", "eX")], [ProcessorClass("e1")])
+
+    def test_identical_platform_helper(self):
+        p = identical_platform(4)
+        assert p.m == 4
+        assert p.m_e == 1
+        assert isinstance(p.comm, SharedBus)
+        with pytest.raises(PlatformError):
+            identical_platform(0)
+
+
+class TestQueries:
+    def test_class_of(self, hetero_platform):
+        assert hetero_platform.class_of("p1") == "fast"
+        assert hetero_platform.class_of("p2") == "slow"
+        with pytest.raises(PlatformError):
+            hetero_platform.class_of("zzz")
+
+    def test_used_class_ids(self):
+        # A declared but uninstantiated class is not "used".
+        p = Platform(
+            [Processor("p1", "e1")],
+            [ProcessorClass("e1"), ProcessorClass("e2")],
+        )
+        assert p.used_class_ids() == ["e1"]
+
+    def test_eligible_processors(self, hetero_platform):
+        t = Task(id="t", wcet={"slow": 10.0})
+        procs = [p.id for p in hetero_platform.eligible_processors(t)]
+        assert procs == ["p2", "p3"]
+
+    def test_require_eligible_raises_when_none(self, hetero_platform):
+        t = Task(id="t", wcet={"gpu": 10.0})
+        with pytest.raises(EligibilityError):
+            hetero_platform.require_eligible(t)
+
+    def test_wcet_of(self, hetero_platform):
+        t = Task(id="t", wcet={"fast": 8.0, "slow": 12.0})
+        assert hetero_platform.wcet_of(t, "p1") == 8.0
+        assert hetero_platform.wcet_of(t, "p2") == 12.0
+
+    def test_wcet_of_ineligible_raises(self, hetero_platform):
+        t = Task(id="t", wcet={"fast": 8.0})
+        with pytest.raises(EligibilityError):
+            hetero_platform.wcet_of(t, "p2")
+
+    def test_communication_cost_delegates_to_model(self, hetero_platform):
+        assert hetero_platform.communication_cost("p1", "p2", 3.0) == 3.0
+        assert hetero_platform.communication_cost("p1", "p1", 3.0) == 0.0
+
+
+class TestSerialization:
+    def test_round_trip(self, hetero_platform):
+        p2 = platform_from_dict(platform_to_dict(hetero_platform))
+        assert p2.m == hetero_platform.m
+        assert p2.m_e == hetero_platform.m_e
+        assert p2.class_of("p1") == "fast"
+        assert isinstance(p2.comm, SharedBus)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SerializationError):
+            platform_from_dict({"format": "nope"})
+
+    def test_unknown_comm_kind_rejected(self, hetero_platform):
+        doc = platform_to_dict(hetero_platform)
+        doc["comm"] = {"kind": "warp-drive"}
+        with pytest.raises(SerializationError):
+            platform_from_dict(doc)

@@ -1,0 +1,36 @@
+"""Unit tests for processor and processor-class models (§3.1)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.system import Processor, ProcessorClass
+
+
+class TestProcessorClass:
+    def test_requires_id(self):
+        with pytest.raises(ValidationError):
+            ProcessorClass("")
+
+    def test_requires_positive_speed(self):
+        with pytest.raises(ValidationError):
+            ProcessorClass("e1", speed_factor=0.0)
+
+    def test_scaled_time_uniform_model(self):
+        fast = ProcessorClass("fast", speed_factor=2.0)
+        assert fast.scaled_time(10.0) == 5.0
+
+    def test_default_speed_is_identity(self):
+        assert ProcessorClass("e1").scaled_time(7.0) == 7.0
+
+
+class TestProcessor:
+    def test_requires_ids(self):
+        with pytest.raises(ValidationError):
+            Processor("", "e1")
+        with pytest.raises(ValidationError):
+            Processor("p1", "")
+
+    def test_is_frozen(self):
+        p = Processor("p1", "e1")
+        with pytest.raises(AttributeError):
+            p.cls = "e2"

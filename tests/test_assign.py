@@ -1,0 +1,167 @@
+"""Unit tests for clustering assignment and fixed-placement scheduling."""
+
+import pytest
+
+from repro.assign import (
+    FixedAssignmentEdfScheduler,
+    TaskAssignment,
+    cluster_assignment,
+    exact_estimates,
+)
+from repro.core import distribute_deadlines
+from repro.errors import PlatformError, SchedulingError
+from repro.graph import GraphBuilder
+from repro.rng import make_rng
+from repro.sched import validate_schedule
+from repro.system import Platform, Processor, ProcessorClass, identical_platform
+from repro.workload import WorkloadParams, generate_workload
+
+
+class TestClusterAssignment:
+    def test_every_task_assigned_to_eligible_processor(self):
+        wl = generate_workload(WorkloadParams(m=3), make_rng(0))
+        assignment = cluster_assignment(wl.graph, wl.platform)
+        for task in wl.graph.tasks():
+            proc = assignment.processor_of(task.id)
+            assert task.is_eligible(wl.platform.class_of(proc))
+
+    def test_heavy_communicators_colocated(self):
+        # One heavy edge, several light ones: the heavy pair must share
+        # a processor.
+        g = (
+            GraphBuilder()
+            .task("a", 10).task("b", 10).task("c", 10).task("d", 10)
+            .edge("a", "b", message=100)
+            .edge("a", "c", message=1)
+            .edge("c", "d", message=1)
+            .build()
+        )
+        p = identical_platform(2)
+        assignment = cluster_assignment(g, p)
+        assert assignment.processor_of("a") == assignment.processor_of("b")
+        assert assignment.zeroed_traffic >= 100.0
+
+    def test_balance_cap_limits_cluster_growth(self):
+        g = (
+            GraphBuilder()
+            .task("a", 10).task("b", 10).task("c", 10).task("d", 10)
+            .edge("a", "b", message=10)
+            .edge("b", "c", message=10)
+            .edge("c", "d", message=10)
+            .build()
+        )
+        p = identical_platform(2)
+        tight = cluster_assignment(g, p, balance_factor=1.0)
+        procs = {tight.processor_of(t) for t in g.task_ids()}
+        assert len(procs) == 2  # cap of 20 forces a split over both
+
+    def test_eligibility_blocks_merging(self):
+        g = (
+            GraphBuilder()
+            .task("a", {"fast": 10.0})
+            .task("b", {"slow": 10.0})
+            .edge("a", "b", message=100)
+            .build()
+        )
+        p = Platform(
+            [Processor("p1", "fast"), Processor("p2", "slow")],
+            [ProcessorClass("fast"), ProcessorClass("slow")],
+        )
+        assignment = cluster_assignment(g, p)
+        assert assignment.processor_of("a") == "p1"
+        assert assignment.processor_of("b") == "p2"
+        assert assignment.n_clusters == 2
+
+    def test_bad_balance_factor(self):
+        g = GraphBuilder().task("a", 1).build()
+        with pytest.raises(PlatformError):
+            cluster_assignment(g, identical_platform(1), balance_factor=0.0)
+
+    def test_unassigned_lookup_raises(self):
+        assignment = TaskAssignment({}, 0, 0.0)
+        with pytest.raises(PlatformError):
+            assignment.processor_of("ghost")
+
+    def test_tasks_on(self):
+        assignment = TaskAssignment({"a": "p1", "b": "p1", "c": "p2"}, 2, 0.0)
+        assert assignment.tasks_on("p1") == ["a", "b"]
+
+
+class TestExactEstimates:
+    def test_collapses_to_assigned_class(self):
+        g = (
+            GraphBuilder()
+            .task("a", {"fast": 8.0, "slow": 12.0})
+            .build()
+        )
+        p = Platform(
+            [Processor("p1", "fast"), Processor("p2", "slow")],
+            [ProcessorClass("fast"), ProcessorClass("slow")],
+        )
+        fast = TaskAssignment({"a": "p1"}, 1, 0.0)
+        slow = TaskAssignment({"a": "p2"}, 1, 0.0)
+        assert exact_estimates(g, p, fast)["a"] == 8.0
+        assert exact_estimates(g, p, slow)["a"] == 12.0
+
+
+class TestFixedAssignmentScheduler:
+    def test_placements_honour_the_assignment(self):
+        wl = generate_workload(WorkloadParams(m=3), make_rng(1))
+        fixed = cluster_assignment(wl.graph, wl.platform)
+        estimates = exact_estimates(wl.graph, wl.platform, fixed)
+        windows = distribute_deadlines(
+            wl.graph, wl.platform, "ADAPT-L", estimates=estimates
+        )
+        sched = FixedAssignmentEdfScheduler(
+            fixed, continue_on_miss=True
+        ).schedule(wl.graph, wl.platform, windows)
+        assert len(sched.entries) == wl.graph.n_tasks
+        for entry in sched:
+            assert entry.processor == fixed.processor_of(entry.task_id)
+        problems = validate_schedule(
+            sched, wl.graph, wl.platform, windows, check_deadlines=False
+        )
+        assert problems == [], problems
+
+    def test_ineligible_fixed_placement_raises(self):
+        g = GraphBuilder().task("a", {"fast": 8.0}).build()
+        p = Platform(
+            [Processor("p1", "fast"), Processor("p2", "slow")],
+            [ProcessorClass("fast"), ProcessorClass("slow")],
+        )
+        bad = TaskAssignment({"a": "p2"}, 1, 0.0)
+        from repro.core import DeadlineAssignment, TaskWindow
+
+        windows = DeadlineAssignment(
+            windows={"a": TaskWindow(0.0, 50.0, 50.0)}
+        )
+        with pytest.raises(SchedulingError):
+            FixedAssignmentEdfScheduler(bad).schedule(g, p, windows)
+
+
+class TestLocalityTrials:
+    def test_strict_locality_trial_runs(self):
+        from repro.experiments import TrialConfig, run_trial
+
+        fast = WorkloadParams(m=3, n_tasks_range=(12, 16), depth_range=(4, 6))
+        out = run_trial(
+            TrialConfig(workload=fast, locality="strict"), seed=3
+        )
+        assert isinstance(out.success, bool)
+
+    def test_unknown_locality_rejected(self):
+        from repro.errors import ExperimentError
+        from repro.experiments import TrialConfig
+
+        with pytest.raises(ExperimentError):
+            TrialConfig(locality="psychic")
+
+    def test_abl_locality_registered(self):
+        from repro.experiments import get_figure_spec
+
+        spec = get_figure_spec("abl-locality")
+        assert spec.config_for(0.8, "strict (clustered)").locality == "strict"
+        assert (
+            spec.config_for(0.8, "relaxed (free placement)").locality
+            == "relaxed"
+        )

@@ -1,0 +1,53 @@
+"""Unit tests for the repro-figures CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.figures == ["fig2"]
+        assert args.trials == 1024
+        assert args.seed == 2026
+
+    def test_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["--all", "--trials", "16", "--jobs", "2", "--out", str(tmp_path)]
+        )
+        assert args.all and args.trials == 16 and args.jobs == 2
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "abl-ccr" in out
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_figure_reports_error(self, capsys):
+        assert main(["fig99", "--trials", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_tiny_run_writes_outputs(self, tmp_path, capsys):
+        code = main(
+            [
+                "abl-kl",
+                "--trials", "2",
+                "--seed", "3",
+                "--jobs", "1",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ADAPT-L" in out
+        doc = json.loads((tmp_path / "abl-kl.json").read_text())
+        assert doc["trials_per_cell"] == 2
+        assert (tmp_path / "abl-kl.csv").exists()
+        assert (tmp_path / "abl-kl.md").read_text().startswith("###")

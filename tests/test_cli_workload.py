@@ -1,0 +1,52 @@
+"""Unit tests for the repro-workload CLI."""
+
+from repro.cli import workload_main
+
+
+class TestWorkloadCli:
+    def test_single_metric_run(self, capsys):
+        code = workload_main(["--seed", "3", "--m", "3"])
+        out = capsys.readouterr().out
+        assert "avg parallelism" in out
+        assert "makespan" in out
+        assert code in (0, 3)  # feasible or a clean infeasible exit
+
+    def test_all_metrics_comparison(self, capsys):
+        code = workload_main(["--seed", "3", "--all-metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for metric in ("PURE", "NORM", "ADAPT-G", "ADAPT-L"):
+            assert metric in out
+
+    def test_exports(self, tmp_path, capsys):
+        workload_main(
+            ["--seed", "1", "--out-dir", str(tmp_path)]
+        )
+        assert (tmp_path / "graph.json").exists()
+        assert (tmp_path / "graph.dot").exists()
+        assert (tmp_path / "schedule.csv").exists()
+
+    def test_load_graph_round_trip(self, tmp_path, capsys):
+        # export a graph, then feed it back in
+        workload_main(["--seed", "5", "--out-dir", str(tmp_path)])
+        capsys.readouterr()
+        code = workload_main(
+            ["--graph", str(tmp_path / "graph.json"), "--m", "4"]
+        )
+        out = capsys.readouterr().out
+        assert "tasks" in out
+        assert code in (0, 3)
+
+    def test_infeasible_workload_prints_witness(self, capsys):
+        # OLR far below anything schedulable: the screen should fire
+        code = workload_main(["--seed", "2", "--olr", "0.2", "--m", "2"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "analytical screen" in out or "INFEASIBLE" in out
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        code = workload_main(["--graph", str(bad)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,25 @@
+"""Run the doctest examples embedded in docstrings."""
+
+import doctest
+
+import repro.graph.builder
+
+
+def test_builder_doctests():
+    results = doctest.testmod(repro.graph.builder, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1  # the GraphBuilder example ran
+
+
+def test_readme_quickstart_executes():
+    """The README's quickstart block must stay runnable verbatim."""
+    from pathlib import Path
+
+    readme = Path(__file__).parent.parent / "README.md"
+    text = readme.read_text()
+    start = text.index("```python") + len("```python")
+    end = text.index("```", start)
+    code = text[start:end]
+    namespace: dict = {}
+    exec(compile(code, "<README quickstart>", "exec"), namespace)
+    assert namespace["schedule"].feasible is not None

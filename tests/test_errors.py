@@ -1,0 +1,48 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.CycleError,
+            errors.ValidationError,
+            errors.PlatformError,
+            errors.EligibilityError,
+            errors.DistributionError,
+            errors.MetricError,
+            errors.SchedulingError,
+            errors.InfeasibleError,
+            errors.WorkloadError,
+            errors.ExperimentError,
+            errors.SerializationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_cycle_is_graph_error(self):
+        assert issubclass(errors.CycleError, errors.GraphError)
+
+    def test_eligibility_is_platform_error(self):
+        assert issubclass(errors.EligibilityError, errors.PlatformError)
+
+    def test_infeasible_is_scheduling_error(self):
+        assert issubclass(errors.InfeasibleError, errors.SchedulingError)
+
+    def test_one_catch_covers_the_library(self):
+        # the documented catch-all pattern
+        try:
+            raise errors.WorkloadError("boom")
+        except errors.ReproError as exc:
+            assert "boom" in str(exc)
+
+    def test_all_exports_exist(self):
+        for name in errors.__all__:
+            assert hasattr(errors, name)

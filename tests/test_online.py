@@ -1,0 +1,126 @@
+"""Unit tests for on-line admission control (§7.2, [13])."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graph import chain_graph, fork_join_graph
+from repro.online import AdmissionController
+from repro.sched import validate_schedule
+from repro.system import identical_platform
+
+
+def app(wcets=(10, 20, 15)):
+    return chain_graph(list(wcets))
+
+
+class TestAdmission:
+    def test_admits_into_idle_machine(self):
+        ctrl = AdmissionController(identical_platform(2), metric="PURE")
+        decision = ctrl.submit(
+            "app1", app(), arrival=0.0, relative_deadline=90.0
+        )
+        assert decision.admitted
+        assert decision.response_time <= 90.0
+        assert ctrl.admitted_ids() == ["app1"]
+
+    def test_tasks_shifted_to_arrival(self):
+        ctrl = AdmissionController(identical_platform(2))
+        ctrl.submit("a", app(), arrival=100.0, relative_deadline=90.0)
+        sched = ctrl.schedule_of("a")
+        assert all(e.start >= 100.0 for e in sched)
+        assert all(e.absolute_deadline <= 190.0 + 1e-9 for e in sched)
+
+    def test_namespaced_ids(self):
+        ctrl = AdmissionController(identical_platform(2))
+        ctrl.submit("a", app(), arrival=0.0, relative_deadline=90.0)
+        assert "a.t0" in ctrl.schedule_of("a").entries
+
+    def test_rejects_overload(self):
+        ctrl = AdmissionController(identical_platform(1), metric="PURE")
+        assert ctrl.submit("a", app(), arrival=0.0, relative_deadline=50.0)
+        # the machine is busy until 45; a same-deadline app can't fit
+        decision = ctrl.submit(
+            "b", app(), arrival=0.0, relative_deadline=50.0
+        )
+        assert not decision.admitted
+        assert decision.reason
+        assert ctrl.admitted_ids() == ["a"]
+
+    def test_rejected_app_leaves_no_trace(self):
+        ctrl = AdmissionController(identical_platform(1), metric="PURE")
+        ctrl.submit("a", app(), arrival=0.0, relative_deadline=50.0)
+        horizon = ctrl.utilization_horizon()
+        ctrl.submit("b", app(), arrival=0.0, relative_deadline=50.0)
+        assert ctrl.utilization_horizon() == horizon
+
+    def test_admits_after_load_drains(self):
+        ctrl = AdmissionController(identical_platform(1), metric="PURE")
+        ctrl.submit("a", app(), arrival=0.0, relative_deadline=50.0)
+        # arriving later, the same application fits again
+        decision = ctrl.submit(
+            "b", app(), arrival=60.0, relative_deadline=50.0
+        )
+        assert decision.admitted
+
+    def test_commitments_never_overlap(self):
+        ctrl = AdmissionController(identical_platform(2), metric="ADAPT-L")
+        graphs = [
+            app(),
+            fork_join_graph([[10, 10], [15]]),
+            app((5, 5)),
+        ]
+        t = 0.0
+        for i, g in enumerate(graphs):
+            ctrl.submit(f"app{i}", g, arrival=t, relative_deadline=120.0)
+            t += 20.0
+        combined = ctrl.combined_schedule()
+        # no processor runs two commitments at once
+        for p in ("p1", "p2"):
+            rows = combined.tasks_on(p)
+            for a, b in zip(rows, rows[1:]):
+                assert a.finish <= b.start + 1e-9
+
+    def test_admitted_schedules_are_structurally_valid(self):
+        platform = identical_platform(2)
+        ctrl = AdmissionController(platform)
+        g = fork_join_graph([[10, 10], [15, 5]])
+        decision = ctrl.submit("a", g, arrival=5.0, relative_deadline=150.0)
+        assert decision.admitted
+        # validate against a namespaced copy of the submitted graph
+        from repro.graph import relabel
+
+        shifted_ids = relabel(g, lambda t: f"a.{t}")
+        sched = ctrl.schedule_of("a")
+        problems = validate_schedule(sched, shifted_ids, platform)
+        assert problems == []
+
+
+class TestGuards:
+    def test_duplicate_id_rejected(self):
+        ctrl = AdmissionController(identical_platform(1), metric="PURE")
+        ctrl.submit("a", app(), arrival=0.0, relative_deadline=90.0)
+        with pytest.raises(SchedulingError):
+            ctrl.submit("a", app(), arrival=1.0, relative_deadline=90.0)
+
+    def test_time_travel_rejected(self):
+        ctrl = AdmissionController(identical_platform(1), metric="PURE")
+        ctrl.submit("a", app(), arrival=10.0, relative_deadline=90.0)
+        with pytest.raises(SchedulingError):
+            ctrl.submit("b", app(), arrival=5.0, relative_deadline=90.0)
+
+    def test_nonpositive_deadline_rejected(self):
+        ctrl = AdmissionController(identical_platform(1), metric="PURE")
+        with pytest.raises(SchedulingError):
+            ctrl.submit("a", app(), arrival=0.0, relative_deadline=0.0)
+
+    def test_unknown_schedule_lookup(self):
+        ctrl = AdmissionController(identical_platform(1), metric="PURE")
+        with pytest.raises(SchedulingError):
+            ctrl.schedule_of("ghost")
+
+    def test_degenerate_distribution_rejected_cleanly(self):
+        ctrl = AdmissionController(identical_platform(1), metric="PURE")
+        g = chain_graph([5, 50])
+        decision = ctrl.submit("a", g, arrival=0.0, relative_deadline=10.0)
+        assert not decision.admitted
+        assert "degenerate" in decision.reason or decision.reason

@@ -1,0 +1,66 @@
+"""Hygiene checks on the public API surface."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    "repro",
+    "repro.graph",
+    "repro.system",
+    "repro.core",
+    "repro.sched",
+    "repro.assign",
+    "repro.periodic",
+    "repro.workload",
+    "repro.resources",
+    "repro.online",
+    "repro.experiments",
+    "repro.analysis",
+    "repro.viz",
+    "repro.cli",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), module_name
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_no_duplicate_exports(self, module_name):
+        module = importlib.import_module(module_name)
+        names = list(module.__all__)
+        assert len(names) == len(set(names)), module_name
+
+    def test_every_submodule_imports(self):
+        # every module in the package tree imports cleanly
+        for info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            importlib.import_module(info.name)
+
+    def test_version_marker(self):
+        assert repro.__version__
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_modules_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, module_name
+
+    def test_public_callables_documented(self):
+        # every top-level public symbol carries a docstring
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj):
+                assert obj.__doc__, name

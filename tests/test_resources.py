@@ -1,0 +1,86 @@
+"""Unit tests for the shared-resource extension (§7.3)."""
+
+import pytest
+
+from repro.core import AdaptiveParams, distribute_deadlines
+from repro.graph import GraphBuilder
+from repro.resources import (
+    ResourceAwareAdaptL,
+    resource_parallel_sets,
+    resource_usage,
+    with_resources,
+)
+from repro.sched import schedule_edf, validate_schedule
+from repro.system import identical_platform
+
+
+@pytest.fixture
+def wide():
+    """s -> {x, y, z} -> t, with x and y sharing a resource."""
+    g = (
+        GraphBuilder()
+        .task("s", 5).task("x", 20).task("y", 20).task("z", 20).task("t", 5)
+        .edge("s", "x").edge("s", "y").edge("s", "z")
+        .edge("x", "t").edge("y", "t").edge("z", "t")
+        .e2e("s", "t", 200)
+        .build()
+    )
+    return with_resources(g, {"x": {"db"}, "y": {"db"}})
+
+
+class TestWithResources:
+    def test_attaches_resources(self, wide):
+        assert wide.task("x").resources == {"db"}
+        assert wide.task("z").resources == frozenset()
+
+    def test_preserves_structure(self, wide):
+        assert wide.n_tasks == 5
+        assert wide.has_edge("s", "x")
+        assert wide.e2e_deadline("s", "t") == 200.0
+
+    def test_original_untouched(self):
+        g = GraphBuilder().task("a", 1).build()
+        g2 = with_resources(g, {"a": {"r"}})
+        assert g.task("a").resources == frozenset()
+        assert g2.task("a").resources == {"r"}
+
+
+class TestResourceUsage:
+    def test_usage_map(self, wide):
+        assert resource_usage(wide) == {"db": ["x", "y"]}
+
+    def test_empty(self):
+        g = GraphBuilder().task("a", 1).build()
+        assert resource_usage(g) == {}
+
+
+class TestResourceParallelSets:
+    def test_counts_match_plain_psi(self, wide):
+        # sizes equal |Psi| (the refinement reweights, not recounts)
+        sizes = resource_parallel_sets(wide)
+        assert sizes["x"] == 2  # y and z
+        assert sizes["s"] == 0
+
+
+class TestResourceAwareMetric:
+    def test_serialized_peers_weighted_fully(self, wide):
+        est = {t: wide.task(t).mean_wcet() for t in wide.task_ids()}
+        m = ResourceAwareAdaptL(AdaptiveParams(k_l=0.5, c_thres=0.0))
+        platform = identical_platform(4)
+        state = m.prepare(wide, est, platform)
+        # x: peer y shares db (full weight 1), z contends for procs (1/m)
+        expected_x = 20.0 * (1.0 + 0.5 * (1.0 / 4 + 1.0))
+        assert state.weights["x"] == pytest.approx(expected_x)
+        # z: both x and y are plain processor contenders
+        expected_z = 20.0 * (1.0 + 0.5 * (2.0 / 4))
+        assert state.weights["z"] == pytest.approx(expected_z)
+
+    def test_end_to_end_with_edf(self, wide):
+        platform = identical_platform(3)
+        a = distribute_deadlines(wide, platform, ResourceAwareAdaptL())
+        s = schedule_edf(wide, platform, a)
+        assert s.feasible
+        assert validate_schedule(s, wide, platform, a) == []
+        # resource exclusion held
+        x, y = s.entry("x"), s.entry("y")
+        assert x.finish <= y.start + 1e-9 or y.finish <= x.start + 1e-9

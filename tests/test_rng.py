@@ -1,0 +1,79 @@
+"""Unit tests for deterministic RNG plumbing."""
+
+import numpy as np
+
+from repro.rng import (
+    choice_index,
+    derive_seed,
+    iter_trial_seeds,
+    make_rng,
+    spawn_rngs,
+    trial_rng,
+)
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(7, 1, 2) == derive_seed(7, 1, 2)
+
+    def test_index_path_matters(self):
+        assert derive_seed(7, 1, 2) != derive_seed(7, 2, 1)
+
+    def test_root_matters(self):
+        assert derive_seed(7, 1) != derive_seed(8, 1)
+
+    def test_fits_63_bits(self):
+        for i in range(50):
+            assert 0 <= derive_seed(1, i) < 2**63
+
+
+class TestTrialRng:
+    def test_independent_streams(self):
+        a = trial_rng(9, 0).random(8)
+        b = trial_rng(9, 1).random(8)
+        assert not np.allclose(a, b)
+
+    def test_reproducible(self):
+        assert np.allclose(trial_rng(9, 3).random(8), trial_rng(9, 3).random(8))
+
+    def test_spawn_rngs(self):
+        rngs = spawn_rngs(5, 4)
+        assert len(rngs) == 4
+        draws = {float(r.random()) for r in rngs}
+        assert len(draws) == 4
+
+    def test_iter_trial_seeds(self):
+        seeds = list(iter_trial_seeds(5, 10))
+        assert len(set(seeds)) == 10
+
+
+class TestChoiceIndex:
+    def test_respects_weights(self):
+        rng = make_rng(0)
+        picks = [choice_index(rng, [0.0, 1.0, 0.0]) for _ in range(20)]
+        assert set(picks) == {1}
+
+    def test_distribution_roughly_proportional(self):
+        rng = make_rng(1)
+        picks = [choice_index(rng, [1.0, 3.0]) for _ in range(2000)]
+        frac = sum(1 for p in picks if p == 1) / len(picks)
+        assert 0.68 <= frac <= 0.82
+
+    def test_zero_sum_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            choice_index(make_rng(0), [0.0, 0.0])
+
+
+class TestTimeHelpers:
+    def test_time_comparisons(self):
+        from repro.types import time_almost_equal, time_geq, time_leq
+
+        assert time_almost_equal(1.0, 1.0 + 1e-12)
+        assert not time_almost_equal(1.0, 1.001)
+        assert time_leq(1.0 + 1e-12, 1.0)
+        assert time_geq(1.0, 1.0 + 1e-12)
+        assert not time_leq(2.0, 1.0)
+        # scale-aware tolerance
+        assert time_leq(1e9 + 1.0, 1e9, eps=1e-8)

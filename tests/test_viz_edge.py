@@ -1,0 +1,71 @@
+"""Edge-case tests for SVG rendering and chart helpers."""
+
+import xml.etree.ElementTree as ET
+
+from repro.core import DeadlineAssignment, TaskWindow
+from repro.graph import GraphBuilder, chain_graph
+from repro.sched import Schedule, schedule_edf
+from repro.system import identical_platform
+from repro.viz import gantt_svg, graph_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestGanttEdgeCases:
+    def test_empty_schedule_renders(self):
+        svg = gantt_svg(Schedule(), identical_platform(2))
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_zero_length_window_survives(self, uni2):
+        g = GraphBuilder().task("x", 5).build()
+        a = DeadlineAssignment(
+            windows={"x": TaskWindow(10.0, 0.0, 10.0)}
+        )
+        s = Schedule()
+        from repro.sched import ScheduledTask
+
+        s.entries["x"] = ScheduledTask("x", "p1", 10.0, 15.0, 10.0, 10.0)
+        s.feasible = False
+        ET.fromstring(gantt_svg(s, uni2, a))
+
+    def test_deadline_extends_canvas(self, uni2):
+        # the window underlay must fit even past the makespan
+        g = chain_graph([5], e2e_deadline=100.0)
+        a = DeadlineAssignment(windows={"t0": TaskWindow(0.0, 100.0, 100.0)})
+        s = schedule_edf(g, uni2, a)
+        svg = gantt_svg(s, uni2, a)
+        root = ET.fromstring(svg)
+        underlay = [
+            r for r in root.findall(f".//{SVG_NS}rect")
+            if r.get("fill") == "#d0d7de"
+        ]
+        assert len(underlay) == 1
+
+    def test_color_stability(self):
+        from repro.viz.svg import _color
+
+        assert _color("task-a") == _color("task-a")
+
+
+class TestGraphSvgEdgeCases:
+    def test_single_node(self):
+        g = GraphBuilder().task("only", 5).build()
+        root = ET.fromstring(graph_svg(g))
+        assert len(root.findall(f".//{SVG_NS}rect")) == 1
+        assert root.findall(f".//{SVG_NS}line") == []
+
+    def test_wide_level_centred(self):
+        g = (
+            GraphBuilder()
+            .task("s", 1)
+            .task("a", 1).task("b", 1).task("c", 1).task("d", 1)
+            .edge("s", "a").edge("s", "b").edge("s", "c").edge("s", "d")
+            .build()
+        )
+        root = ET.fromstring(graph_svg(g))
+        xs = sorted(
+            float(r.get("x")) for r in root.findall(f".//{SVG_NS}rect")
+        )
+        # four children spread symmetrically around the lone parent
+        assert len(set(xs)) >= 4

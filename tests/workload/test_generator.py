@@ -1,0 +1,185 @@
+"""Unit tests for the random workload generator (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph import graph_depth, validate_graph
+from repro.rng import make_rng
+from repro.workload import (
+    WorkloadParams,
+    generate_task_graph,
+    generate_workload,
+)
+
+
+@pytest.fixture
+def params():
+    return WorkloadParams(m=3)
+
+
+def graphs(params, n=20, seed=0):
+    rng = make_rng(seed)
+    return [
+        generate_task_graph(params, rng, ["e1", "e2"]) for _ in range(n)
+    ]
+
+
+class TestStructure:
+    def test_task_count_in_range(self, params):
+        for g in graphs(params):
+            assert 40 <= g.n_tasks <= 60
+
+    def test_depth_in_range(self, params):
+        for g in graphs(params):
+            assert 8 <= graph_depth(g) <= 12
+
+    def test_fan_in_bounds(self, params):
+        for g in graphs(params, n=10):
+            inputs = set(g.input_tasks())
+            for tid in g.task_ids():
+                if tid not in inputs:
+                    assert 1 <= g.in_degree(tid) <= 3
+
+    def test_graphs_are_valid(self, params):
+        for g in graphs(params, n=10):
+            report = validate_graph(g)
+            assert report.ok, report.errors
+
+    def test_every_task_reaches_io(self, params):
+        # No orphan components: every non-input task has a predecessor.
+        for g in graphs(params, n=10):
+            inputs = set(g.input_tasks())
+            for tid in g.task_ids():
+                assert tid in inputs or g.in_degree(tid) >= 1
+
+
+class TestTiming:
+    def test_wcets_in_etd_interval(self):
+        p = WorkloadParams(m=3, etd=0.25)
+        for g in graphs(p, n=10):
+            for t in g.tasks():
+                for c in t.wcet.values():
+                    assert 15.0 <= c <= 25.0
+                    assert c == int(c)  # integer time units
+
+    def test_etd_zero_gives_identical_times(self):
+        p = WorkloadParams(m=3, etd=0.0)
+        for g in graphs(p, n=5):
+            for t in g.tasks():
+                assert set(t.wcet.values()) == {20.0}
+
+    def test_etd_full_keeps_positive_times(self):
+        p = WorkloadParams(m=3, etd=1.0)
+        for g in graphs(p, n=5):
+            for t in g.tasks():
+                for c in t.wcet.values():
+                    assert 1.0 <= c <= 40.0
+
+    def test_continuous_times_option(self):
+        p = WorkloadParams(m=3, integer_times=False)
+        rng = make_rng(1)
+        g = generate_task_graph(p, rng, ["e1"])
+        values = [c for t in g.tasks() for c in t.wcet.values()]
+        assert any(v != int(v) for v in values)
+
+
+class TestEligibility:
+    def test_every_task_has_a_class(self, params):
+        for g in graphs(params, n=10):
+            for t in g.tasks():
+                assert len(t.wcet) >= 1
+
+    def test_ineligibility_rate_roughly_five_percent(self):
+        p = WorkloadParams(m=3, ineligibility_prob=0.05)
+        rng = make_rng(42)
+        missing = total = 0
+        for _ in range(30):
+            g = generate_task_graph(p, rng, ["e1", "e2", "e3"])
+            for t in g.tasks():
+                total += 3
+                missing += 3 - len(t.wcet)
+        rate = missing / total
+        assert 0.02 <= rate <= 0.09
+
+    def test_zero_ineligibility(self):
+        p = WorkloadParams(m=3, ineligibility_prob=0.0)
+        rng = make_rng(0)
+        g = generate_task_graph(p, rng, ["e1", "e2"])
+        assert all(len(t.wcet) == 2 for t in g.tasks())
+
+
+class TestMessages:
+    def test_ccr_controls_mean_message_cost(self):
+        p = WorkloadParams(m=3, ccr=0.1)
+        sizes = [
+            size
+            for g in graphs(p, n=20, seed=3)
+            for _, _, size in g.edges()
+        ]
+        # mean size should approximate CCR x c_mean = 2 items
+        assert 1.7 <= np.mean(sizes) <= 2.3
+        assert all(1 <= s <= 3 for s in sizes)
+
+    def test_zero_ccr_gives_empty_messages(self):
+        p = WorkloadParams(m=3, ccr=0.0)
+        rng = make_rng(0)
+        g = generate_task_graph(p, rng, ["e1"])
+        assert all(size == 0.0 for _, _, size in g.edges())
+
+
+class TestDeadlines:
+    def test_workload_mode_uniform_deadline(self):
+        p = WorkloadParams(m=3, olr=0.8)
+        rng = make_rng(7)
+        g = generate_task_graph(p, rng, ["e1", "e2"])
+        total = sum(t.mean_wcet() for t in g.tasks())
+        deadlines = set(g.e2e_deadlines().values())
+        assert len(deadlines) == 1
+        assert deadlines.pop() == pytest.approx(0.8 * total)
+        # every input-output pair is covered
+        assert len(g.e2e_deadlines()) == len(g.input_tasks()) * len(
+            g.output_tasks()
+        )
+
+    def test_pair_surplus_mode_varies_by_pair(self):
+        p = WorkloadParams(m=3, olr=0.5, deadline_mode="pair-surplus")
+        rng = make_rng(7)
+        g = generate_task_graph(p, rng, ["e1", "e2"])
+        deadlines = g.e2e_deadlines()
+        assert deadlines  # connected pairs exist
+        assert len(set(round(v, 6) for v in deadlines.values())) > 1
+
+    def test_pair_surplus_deadline_covers_critical_chain(self):
+        p = WorkloadParams(m=3, olr=0.0001, deadline_mode="pair-surplus")
+        rng = make_rng(9)
+        g = generate_task_graph(p, rng, ["e1"])
+        # with OLR ~ 0 every deadline collapses to the pair's chain,
+        # which is always >= the endpoint's own execution time
+        for (a1, a2), d in g.e2e_deadlines().items():
+            assert d >= g.task(a2).mean_wcet() - 1e-6
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self, params):
+        w1 = generate_workload(params, make_rng(123))
+        w2 = generate_workload(params, make_rng(123))
+        from repro.graph import graph_to_dict
+
+        assert graph_to_dict(w1.graph) == graph_to_dict(w2.graph)
+        assert [p.cls for p in w1.platform.processors()] == [
+            p.cls for p in w2.platform.processors()
+        ]
+
+    def test_different_seeds_differ(self, params):
+        w1 = generate_workload(params, make_rng(1))
+        w2 = generate_workload(params, make_rng(2))
+        from repro.graph import graph_to_dict
+
+        assert graph_to_dict(w1.graph) != graph_to_dict(w2.graph)
+
+
+class TestErrors:
+    def test_empty_class_list_rejected(self, params):
+        with pytest.raises(WorkloadError):
+            generate_task_graph(params, make_rng(0), [])

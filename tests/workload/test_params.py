@@ -1,0 +1,74 @@
+"""Unit tests for WorkloadParams validation and serialization."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import WorkloadParams
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        p = WorkloadParams()
+        assert p.n_tasks_range == (40, 60)
+        assert p.depth_range == (8, 12)
+        assert p.fan_range == (1, 3)
+        assert p.c_mean == 20.0
+        assert p.etd == 0.25
+        assert p.olr == 0.8
+        assert p.ccr == 0.1
+        assert p.ineligibility_prob == 0.05
+        assert p.n_classes_range == (1, 3)
+        assert p.bus_delay_per_item == 1.0
+
+    def test_derived_quantities(self):
+        p = WorkloadParams(etd=0.5)
+        assert p.wcet_bounds == (10.0, 30.0)
+        assert p.mean_message_cost == pytest.approx(2.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(m=0),
+            dict(etd=-0.1),
+            dict(etd=1.5),
+            dict(olr=0.0),
+            dict(ccr=-1.0),
+            dict(ineligibility_prob=1.0),
+            dict(n_tasks_range=(10, 5)),
+            dict(depth_range=(0, 5)),
+            dict(fan_range=(0, 3)),
+            dict(depth_range=(50, 60), n_tasks_range=(40, 60)),
+            dict(bus_delay_per_item=-1.0),
+            dict(level_skew=0.0),
+            dict(deadline_mode="nonsense"),
+            dict(c_mean=0.5, integer_times=True),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadParams(**kwargs)
+
+    def test_etd_one_allowed(self):
+        WorkloadParams(etd=1.0)
+
+
+class TestOverrides:
+    def test_with_overrides(self):
+        p = WorkloadParams().with_overrides(m=5, olr=0.6)
+        assert p.m == 5 and p.olr == 0.6
+        assert p.etd == 0.25  # untouched
+
+    def test_original_unchanged(self):
+        p = WorkloadParams()
+        p.with_overrides(m=8)
+        assert p.m == 3
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        p = WorkloadParams(m=5, etd=0.5, level_skew=3.0,
+                           deadline_mode="pair-surplus")
+        p2 = WorkloadParams.from_dict(p.to_dict())
+        assert p2 == p

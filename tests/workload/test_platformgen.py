@@ -1,0 +1,44 @@
+"""Unit tests for random platform generation (§5.1)."""
+
+from repro.rng import make_rng
+from repro.system import SharedBus
+from repro.workload import WorkloadParams, generate_platform
+
+
+class TestGeneratePlatform:
+    def test_processor_count(self):
+        for m in (2, 5, 8):
+            p = generate_platform(WorkloadParams(m=m), make_rng(0))
+            assert p.m == m
+
+    def test_class_count_in_range(self):
+        rng = make_rng(1)
+        for _ in range(20):
+            p = generate_platform(WorkloadParams(m=8), rng)
+            assert 1 <= p.m_e <= 3
+
+    def test_every_class_is_instantiated(self):
+        rng = make_rng(2)
+        for _ in range(20):
+            p = generate_platform(WorkloadParams(m=4), rng)
+            assert sorted(p.used_class_ids()) == sorted(p.class_ids())
+
+    def test_classes_capped_by_m(self):
+        rng = make_rng(3)
+        for _ in range(20):
+            p = generate_platform(WorkloadParams(m=1), rng)
+            assert p.m_e == 1
+
+    def test_shared_bus_with_configured_delay(self):
+        p = generate_platform(
+            WorkloadParams(m=3, bus_delay_per_item=2.5), make_rng(0)
+        )
+        assert isinstance(p.comm, SharedBus)
+        assert p.comm.per_item_delay == 2.5
+
+    def test_deterministic(self):
+        p1 = generate_platform(WorkloadParams(m=6), make_rng(9))
+        p2 = generate_platform(WorkloadParams(m=6), make_rng(9))
+        assert [p.cls for p in p1.processors()] == [
+            p.cls for p in p2.processors()
+        ]

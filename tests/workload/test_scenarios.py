@@ -1,0 +1,100 @@
+"""Unit tests for canned scenarios."""
+
+import numpy as np
+
+from repro.graph import validate_graph
+from repro.workload import (
+    control_pipeline_graph,
+    paper_defaults,
+    sensor_fusion_graph,
+    small_system,
+    uniform_execution_times,
+)
+
+
+class TestParamScenarios:
+    def test_paper_defaults(self):
+        p = paper_defaults(m=4, olr=0.6)
+        assert p.m == 4 and p.olr == 0.6 and p.etd == 0.25
+
+    def test_small_system(self):
+        assert small_system().m == 2
+
+    def test_uniform_execution_times(self):
+        assert uniform_execution_times().etd == 0.0
+
+
+class TestGraphScenarios:
+    def test_control_pipeline_structure(self):
+        g = control_pipeline_graph(stages=4, rng=np.random.default_rng(0))
+        assert g.input_tasks() == ["sense"]
+        assert g.output_tasks() == ["actuate"]
+        assert validate_graph(g).ok
+        # endpoints have strict locality: single eligible class
+        assert len(g.task("sense").wcet) == 1
+        assert len(g.task("stage1").wcet) == 2
+
+    def test_sensor_fusion_structure(self):
+        g = sensor_fusion_graph(n_sensors=3, rng=np.random.default_rng(0))
+        assert len(g.input_tasks()) == 3
+        assert g.output_tasks() == ["act"]
+        assert validate_graph(g).ok
+        assert set(g.predecessors("fuse")) == {
+            "filter0", "filter1", "filter2"
+        }
+
+    def test_engine_control_is_multirate(self):
+        import numpy as np
+
+        from repro.workload import engine_control_graph
+
+        g = engine_control_graph(rng=np.random.default_rng(0))
+        periods = {t.period for t in g.tasks()}
+        assert periods == {20.0, 40.0, 80.0}
+        assert validate_graph(g).ok
+
+    def test_engine_control_plans_and_schedules(self):
+        import numpy as np
+
+        from repro.core import distribute_deadlines
+        from repro.periodic import expand_multirate_graph
+        from repro.sched import (
+            build_dispatch_tables,
+            schedule_edf,
+            validate_schedule,
+        )
+        from repro.system import Platform, Processor, ProcessorClass
+        from repro.workload import engine_control_graph
+
+        g = engine_control_graph(rng=np.random.default_rng(1))
+        unrolled = expand_multirate_graph(g)  # one hyperperiod (80)
+        # fast loop appears 4x, medium 2x, slow once
+        assert "inj_sense#4" in unrolled
+        assert "lam_sense#2" in unrolled
+        assert "thermal_sense#2" not in unrolled
+
+        platform = Platform(
+            [Processor("ecu1", "ecu"), Processor("dsp1", "dsp")],
+            [ProcessorClass("ecu"), ProcessorClass("dsp")],
+        )
+        a = distribute_deadlines(unrolled, platform, "ADAPT-L")
+        s = schedule_edf(unrolled, platform, a)
+        assert s.feasible
+        assert validate_schedule(s, unrolled, platform, a) == []
+        tables = build_dispatch_tables(s, platform, cycle_length=80.0)
+        assert sum(len(t.entries) for t in tables.values()) == unrolled.n_tasks
+
+    def test_scenarios_schedule_end_to_end(self, hetero_platform):
+        from repro.core import distribute_deadlines
+        from repro.sched import schedule_edf, validate_schedule
+        from repro.system import Platform, Processor, ProcessorClass
+
+        platform = Platform(
+            [Processor("p1", "dsp"), Processor("p2", "cpu")],
+            [ProcessorClass("dsp"), ProcessorClass("cpu")],
+        )
+        g = control_pipeline_graph(rng=np.random.default_rng(1))
+        a = distribute_deadlines(g, platform, "ADAPT-L")
+        s = schedule_edf(g, platform, a)
+        assert s.feasible
+        assert validate_schedule(s, g, platform, a) == []
