@@ -4,7 +4,7 @@ PYTHON ?= python
 TRIALS ?= 1024
 JOBS ?=
 
-.PHONY: install test bench figures lint-clean examples all
+.PHONY: install test bench figures lint-clean examples serve-smoke all
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -20,5 +20,8 @@ figures:
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
 
 all: test bench

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the online deadline-assignment service.
+
+Starts a server on an ephemeral port, POSTs one assignment twice (the
+second must be a cache hit), scrapes ``/metrics``, and shuts down.
+Prints ``OK`` and exits 0 on success; any failure exits non-zero.
+
+Run via ``make serve-smoke`` or directly::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.request
+
+from repro.graph import chain_graph, graph_to_dict
+from repro.service import DeadlineAssignmentService, create_server
+from repro.system import identical_platform
+from repro.system.platform import platform_to_dict
+
+
+def main() -> int:
+    service = DeadlineAssignmentService()
+    server = create_server(port=0, service=service)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        graph = chain_graph([10, 20, 15])
+        graph.set_uniform_e2e_deadline(90.0)
+        body = json.dumps(
+            {
+                "graph": graph_to_dict(graph),
+                "platform": platform_to_dict(identical_platform(2)),
+                "metric": "ADAPT-L",
+            }
+        ).encode()
+
+        with urllib.request.urlopen(base + "/healthz") as response:
+            assert response.status == 200, "healthz failed"
+
+        docs = []
+        for _ in range(2):
+            request = urllib.request.Request(
+                base + "/assign",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 200, "assign failed"
+                docs.append(json.loads(response.read()))
+        first, second = docs
+        assert len(first["slices"]) == 3, "expected one slice per task"
+        assert not first["cached"], "first request must be computed"
+        assert second["cached"], "second request must be a cache hit"
+        assert second["slices"] == first["slices"], "cache changed the answer"
+
+        with urllib.request.urlopen(base + "/metrics") as response:
+            text = response.read().decode()
+        for needle in (
+            'repro_requests_total{endpoint="assign",status="200"} 2',
+            "repro_cache_hits_total 1",
+            "repro_cache_misses_total 1",
+            "repro_assign_latency_seconds_count 2",
+        ):
+            assert needle in text, f"metrics missing {needle!r}"
+    except AssertionError as exc:
+        print(f"serve-smoke: FAIL: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+    print(f"serve-smoke: OK ({base}/assign answered, cache hit, metrics sane)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

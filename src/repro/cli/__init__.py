@@ -1,7 +1,15 @@
-"""Command-line interfaces (``repro-figures``, ``repro-workload``)."""
+"""Command-line interfaces (``repro-figures``, ``repro-workload``, ``repro serve``)."""
 
-from .main import build_parser, main
+from .main import build_parser, build_serve_parser, figures_main, main, serve_main
 from .workload_tool import build_parser as build_workload_parser
 from .workload_tool import main as workload_main
 
-__all__ = ["main", "build_parser", "workload_main", "build_workload_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_serve_parser",
+    "figures_main",
+    "serve_main",
+    "workload_main",
+    "build_workload_parser",
+]

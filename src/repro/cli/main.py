@@ -1,14 +1,23 @@
-"""Command-line entry point: regenerate the paper's figures.
+"""Command-line entry point: figures (default) and the online service.
 
-Usage::
+Two subcommands share one ``repro`` entry point:
 
-    repro-figures --list
-    repro-figures fig2 --trials 256 --jobs 8
-    repro-figures --all --trials 1024 --out results/
+* ``figures`` (the default when the first argument is not a subcommand
+  name, so every historical invocation keeps working)::
 
-Each run prints the success-ratio table and an ASCII chart, and — when
-``--out`` is given — writes ``<figure>.json``, ``<figure>.csv`` and
-``<figure>.md`` into the output directory.
+      repro-figures --list
+      repro-figures fig2 --trials 256 --jobs 8
+      python -m repro --all --trials 1024 --out results/
+      python -m repro figures fig3 fig4
+
+* ``serve`` — run the online deadline-assignment HTTP service::
+
+      python -m repro serve --port 8077
+      curl -s localhost:8077/healthz
+
+Each figures run prints the success-ratio table and an ASCII chart,
+and — when ``--out`` is given — writes ``<figure>.json``,
+``<figure>.csv`` and ``<figure>.md`` into the output directory.
 """
 
 from __future__ import annotations
@@ -27,16 +36,31 @@ from ..experiments.report import (
 )
 from ..experiments.runner import run_experiment
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_serve_parser",
+    "figures_main",
+    "serve_main",
+]
+
+#: First-argument tokens routed to a dedicated subcommand parser.
+SUBCOMMANDS = ("figures", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``figures`` subcommand parser (also the historical CLI)."""
     parser = argparse.ArgumentParser(
         prog="repro-figures",
         description=(
             "Reproduce the evaluation figures of 'A Robust Adaptive "
             "Metric for Deadline Assignment in Heterogeneous Distributed "
             "Real-Time Systems' (Jonsson, IPPS 1999)."
+        ),
+        epilog=(
+            "Subcommands: 'figures' (this, the default) and 'serve' "
+            "(online deadline-assignment HTTP service; see "
+            "'python -m repro serve --help')."
         ),
     )
     parser.add_argument(
@@ -89,7 +113,103 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``serve`` subcommand parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the online deadline-assignment service: POST /assign "
+            "(slices + optional admission verdict), GET /healthz, "
+            "GET /metrics (Prometheus text)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        help="TCP port (0 picks a free port; default 8077)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="LRU budget for cached assignments (default 1024)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="largest micro-batch handed to the worker pool (default 8)",
+    )
+    parser.add_argument(
+        "--batch-wait",
+        type=float,
+        default=0.002,
+        help="max seconds a batch waits for more requests (default 0.002)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker threads executing batches (default 4)",
+    )
+    return parser
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro serve``."""
+    args = build_serve_parser().parse_args(argv)
+    from ..service import DeadlineAssignmentService, create_server
+
+    try:
+        service = DeadlineAssignmentService(
+            cache_size=args.cache_size,
+            batch_size=args.batch_size,
+            batch_wait=args.batch_wait,
+            workers=args.workers,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        server = create_server(args.host, args.port, service)
+    except OSError as exc:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        service.close()
+        return 1
+    host, port = server.server_address[:2]
+    print(
+        f"repro deadline-assignment service on http://{host}:{port} "
+        "(POST /assign, GET /healthz, GET /metrics; Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    """Dispatch to a subcommand; bare arguments run ``figures``."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "figures":
+        argv = argv[1:]
+    return figures_main(argv)
+
+
+def figures_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``figures`` subcommand."""
     args = build_parser().parse_args(argv)
 
     if args.list:

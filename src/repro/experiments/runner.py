@@ -268,6 +268,12 @@ def run_experiment(
     """
     if trials < 1:
         raise ExperimentError("trials must be at least 1")
+    if jobs is not None and jobs < 1:
+        # Fail here with a domain error instead of letting
+        # ProcessPoolExecutor raise an opaque ValueError later.
+        raise ExperimentError(
+            f"jobs must be at least 1, got {jobs} (omit it for CPU count)"
+        )
     start = time.perf_counter()
     result = ExperimentResult(
         name=spec.name,

@@ -30,7 +30,14 @@ from .builder import (
     layered_graph,
 )
 from .dot import to_dot
-from .serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .serialization import (
+    canonical_graph_json,
+    graph_digest,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
 from .task import Task
 from .taskgraph import TaskGraph
 from .transform import contract_chains, relabel, scale_wcets
@@ -62,6 +69,8 @@ __all__ = [
     "graph_from_dict",
     "save_graph",
     "load_graph",
+    "canonical_graph_json",
+    "graph_digest",
     "to_dot",
     "contract_chains",
     "scale_wcets",

@@ -9,10 +9,17 @@ revisions can stay backward compatible::
       "edges": [{"src": ..., "dst": ..., "message_size": ...}, ...],
       "e2e_deadlines": [{"src": ..., "dst": ..., "deadline": ...}, ...]
     }
+
+The emitted document is *canonical*: tasks, edges, WCET classes and
+E-T-E pairs appear in sorted order, independent of graph construction
+order.  Two structurally equal graphs therefore serialize to the same
+bytes, which makes :func:`graph_digest` a content address usable as a
+cache key and as result provenance.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -26,6 +33,8 @@ __all__ = [
     "graph_from_dict",
     "save_graph",
     "load_graph",
+    "canonical_graph_json",
+    "graph_digest",
     "FORMAT",
 ]
 
@@ -33,12 +42,12 @@ FORMAT = "repro.taskgraph/1"
 
 
 def graph_to_dict(graph: TaskGraph) -> dict[str, Any]:
-    """Convert *graph* to a JSON-serializable dict."""
+    """Convert *graph* to a JSON-serializable dict (canonical ordering)."""
     tasks = []
-    for task in graph.tasks():
+    for task in sorted(graph.tasks(), key=lambda t: t.id):
         entry: dict[str, Any] = {
             "id": task.id,
-            "wcet": {str(k): v for k, v in task.wcet.items()},
+            "wcet": {str(k): task.wcet[k] for k in sorted(task.wcet)},
             "phasing": task.phasing,
         }
         if task.relative_deadline is not None:
@@ -54,13 +63,31 @@ def graph_to_dict(graph: TaskGraph) -> dict[str, Any]:
         "format": FORMAT,
         "tasks": tasks,
         "edges": [
-            {"src": s, "dst": d, "message_size": m} for s, d, m in graph.edges()
+            {"src": s, "dst": d, "message_size": m}
+            for s, d, m in sorted(graph.edges())
         ],
         "e2e_deadlines": [
             {"src": s, "dst": d, "deadline": dl}
             for (s, d), dl in sorted(graph.e2e_deadlines().items())
         ],
     }
+
+
+def canonical_graph_json(graph: TaskGraph) -> str:
+    """The canonical JSON text of *graph* (sorted keys, no whitespace)."""
+    return json.dumps(
+        graph_to_dict(graph), sort_keys=True, separators=(",", ":")
+    )
+
+
+def graph_digest(graph: TaskGraph) -> str:
+    """SHA-256 hex digest of the canonical JSON form of *graph*.
+
+    Structurally equal graphs share a digest regardless of the order
+    tasks and edges were added, so the digest works as a
+    content-address (service cache key, experiment provenance).
+    """
+    return hashlib.sha256(canonical_graph_json(graph).encode()).hexdigest()
 
 
 def graph_from_dict(data: dict[str, Any]) -> TaskGraph:

@@ -1,0 +1,54 @@
+"""Online deadline-assignment service (the serving layer).
+
+Turns the library into a request/response system: clients POST a task
+graph + platform + metric choice and receive the per-task
+arrival/deadline slices that :func:`repro.core.slicing.distribute_deadlines`
+would compute offline, optionally together with a stateful admission
+verdict from :class:`repro.online.AdmissionController`.
+
+Composition of one request:
+
+``request_from_dict`` (strict validation) → ``request_digest``
+(canonical SHA-256 content address) → :class:`AssignmentCache` (LRU;
+repeated workloads skip the slicing hot path) → :class:`MicroBatcher`
+(concurrent misses coalesce into worker-pool batches) →
+``response_to_dict``.  :class:`ServiceMetrics` counts every step and
+renders Prometheus text for ``GET /metrics``.
+
+Run it with ``python -m repro serve`` or embed
+:class:`DeadlineAssignmentService` directly.
+"""
+
+from .api import (
+    AssignRequest,
+    AssignResponse,
+    TaskSlice,
+    request_digest,
+    request_from_dict,
+    response_from_assignment,
+    response_to_dict,
+)
+from .batch import MicroBatcher
+from .cache import AssignmentCache, CacheStats
+from .metrics import Counter, LatencySummary, ServiceMetrics, render_prometheus
+from .server import DeadlineAssignmentService, ServiceHTTPServer, create_server
+
+__all__ = [
+    "AssignRequest",
+    "AssignResponse",
+    "TaskSlice",
+    "request_from_dict",
+    "request_digest",
+    "response_from_assignment",
+    "response_to_dict",
+    "AssignmentCache",
+    "CacheStats",
+    "MicroBatcher",
+    "Counter",
+    "LatencySummary",
+    "ServiceMetrics",
+    "render_prometheus",
+    "DeadlineAssignmentService",
+    "ServiceHTTPServer",
+    "create_server",
+]

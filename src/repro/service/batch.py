@@ -1,0 +1,159 @@
+"""Micro-batching queue: coalesce concurrent requests into worker batches.
+
+Mirrors the coarse-grained fan-out of :mod:`repro.experiments.runner`
+at request granularity: the unit handed to the worker pool is a *batch*
+of items processed by a simple serial inner loop, so pool bookkeeping
+is amortized over the batch and the per-item code path stays trivial.
+
+A collector thread drains the submission queue.  The first item opens a
+batch; the batch closes when it reaches ``max_batch`` items or when
+``max_wait`` seconds have passed since it opened, whichever comes
+first.  Under light load a batch is a single item dispatched after at
+most ``max_wait``; under a burst, batches fill instantly and the added
+latency is zero.  Each closed batch becomes one task on a
+:class:`~concurrent.futures.ThreadPoolExecutor`, and every submitted
+item resolves through its own :class:`~concurrent.futures.Future` —
+failures are per item, never per batch.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Generic, TypeVar
+
+from ..errors import ValidationError
+
+__all__ = ["MicroBatcher"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class _Stop:
+    """Queue sentinel that shuts the collector down."""
+
+
+class MicroBatcher(Generic[T, R]):
+    """Coalesce submitted items into batches executed on a thread pool.
+
+    Parameters
+    ----------
+    handler:
+        Per-item callable; a batch is processed by calling it once per
+        item in submission order (the coarse-grained unit's serial
+        inner loop).  An exception fails only that item's future.
+    max_batch:
+        Largest batch handed to the pool at once.
+    max_wait:
+        Seconds a batch may wait for more items before dispatching.
+    workers:
+        Pool threads executing closed batches (default 1 keeps strict
+        submission order; raise it to overlap batches).
+    on_batch:
+        Optional observer called with each batch's size just before it
+        is dispatched — the metrics hook.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[T], R],
+        *,
+        max_batch: int = 8,
+        max_wait: float = 0.002,
+        workers: int = 1,
+        on_batch: Callable[[int], None] | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValidationError(
+                f"max_batch must be at least 1, got {max_batch}"
+            )
+        if max_wait < 0.0:
+            raise ValidationError(
+                f"max_wait must be non-negative, got {max_wait:g}"
+            )
+        if workers < 1:
+            raise ValidationError(f"workers must be at least 1, got {workers}")
+        self._handler = handler
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._on_batch = on_batch
+        self._queue: queue.Queue = queue.Queue()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-batch"
+        )
+        self._closed = False
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-batch-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, item: T) -> "Future[R]":
+        """Enqueue *item*; the returned future resolves to its result."""
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed MicroBatcher")
+        future: Future[R] = Future()
+        self._queue.put((item, future))
+        return future
+
+    def close(self) -> None:
+        """Drain outstanding work, then stop the collector and pool.
+
+        Idempotent; afterwards :meth:`submit` raises ``RuntimeError``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_Stop)
+        self._collector.join()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MicroBatcher[T, R]":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        while True:
+            head = self._queue.get()
+            if head is _Stop:
+                return
+            batch = [head]
+            deadline = time.monotonic() + self.max_wait
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _Stop:
+                    stop = True
+                    break
+                batch.append(item)
+            if self._on_batch is not None:
+                try:
+                    self._on_batch(len(batch))
+                except Exception:  # observers must never kill the loop
+                    pass
+            self._pool.submit(self._run_batch, batch)
+            if stop:
+                return
+
+    def _run_batch(
+        self, batch: "list[tuple[T, Future[R]]]"
+    ) -> None:
+        for item, future in batch:
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(self._handler(item))
+            except BaseException as exc:  # noqa: BLE001 - routed to caller
+                future.set_exception(exc)

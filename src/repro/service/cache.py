@@ -1,0 +1,134 @@
+"""Content-addressed LRU cache for deadline assignments.
+
+The service keys entries by :func:`repro.service.api.request_digest` —
+a SHA-256 over the canonical JSON of the assignment-determining inputs
+— so two clients submitting the same workload in different key order,
+task order or metric spelling share one entry.  Deadline distribution
+is deterministic in those inputs, which is what makes caching sound.
+
+The cache is a plain lock-guarded ordered dict: the slicing hot path it
+shortcuts is O(n³) in the worst case, so the few hundred nanoseconds of
+locking are noise, and a single lock keeps the hit/miss/eviction
+counters exact under the threading server.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Generic, TypeVar
+
+from ..errors import ValidationError
+
+__all__ = ["AssignmentCache", "CacheStats"]
+
+V = TypeVar("V")
+
+
+class CacheStats:
+    """Immutable snapshot of one cache's counters."""
+
+    __slots__ = ("hits", "misses", "evictions", "size", "maxsize")
+
+    def __init__(
+        self, hits: int, misses: int, evictions: int, size: int, maxsize: int
+    ) -> None:
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+        self.size = size
+        self.maxsize = maxsize
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, size={self.size}/{self.maxsize})"
+        )
+
+
+class AssignmentCache(Generic[V]):
+    """Thread-safe LRU cache from content digest to computed value.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry budget; the least-recently-used entry is evicted when a
+        new key would exceed it.  Must be at least 1.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValidationError(
+                f"cache maxsize must be at least 1, got {maxsize}"
+            )
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, V] = OrderedDict()
+        self._lock = Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str) -> V | None:
+        """Look up *key*, refreshing its recency; ``None`` on miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: str, value: V) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            while len(self._entries) >= self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their history)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )
+
+    def keys(self) -> list[str]:
+        """Current keys, least- to most-recently used (for diagnostics)."""
+        with self._lock:
+            return list(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AssignmentCache({self.stats()!r})"

@@ -1,0 +1,221 @@
+"""In-process service metrics rendered in Prometheus text format.
+
+Stdlib-only instrumentation for the deadline-assignment service:
+monotone counters (optionally labelled), and a sliding-window latency
+summary that reports p50/p95/p99 quantiles plus the cumulative
+count/sum pair Prometheus expects of a summary.  Quantiles are computed
+over the most recent ``window`` observations — a bounded-memory
+approximation that tracks current behaviour instead of averaging over
+the whole process lifetime.
+
+Everything is lock-guarded and cheap: one counter bump is a dict
+update, one latency observation appends to a ring buffer; the O(w log w)
+sort happens only when ``/metrics`` is scraped.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from threading import Lock
+from typing import Iterable
+
+__all__ = ["Counter", "LatencySummary", "ServiceMetrics", "render_prometheus"]
+
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotone counter with optional label sets.
+
+    ``inc()`` bumps the unlabelled series; ``inc(endpoint="assign")``
+    bumps one labelled child.  Rendering emits every child it has seen.
+    """
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = Lock()
+        self._children: dict[tuple[tuple[str, str], ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0.0:
+            raise ValueError("counters can only increase")
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            return self._children.get(key, 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        with self._lock:
+            return sum(self._children.values())
+
+    def render(self) -> list[str]:
+        with self._lock:
+            children = sorted(self._children.items())
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} counter",
+        ]
+        if not children:
+            children = [((), 0.0)]
+        for labels, value in children:
+            lines.append(
+                f"{self.name}{_format_labels(labels)} {_format_value(value)}"
+            )
+        return lines
+
+
+class LatencySummary:
+    """Sliding-window latency summary (seconds) with fixed quantiles."""
+
+    def __init__(self, name: str, help_text: str, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        self.name = name
+        self.help_text = help_text
+        self._lock = Lock()
+        self._recent: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._recent.append(seconds)
+            self._count += 1
+            self._sum += seconds
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Window quantile by linear interpolation; NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q:g}")
+        with self._lock:
+            data = sorted(self._recent)
+        if not data:
+            return float("nan")
+        pos = q * (len(data) - 1)
+        lo = math.floor(pos)
+        hi = math.ceil(pos)
+        if lo == hi:
+            return data[lo]
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def render(self, quantiles: Iterable[float] = _QUANTILES) -> list[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} summary",
+        ]
+        for q in quantiles:
+            lines.append(
+                f'{self.name}{{quantile="{q:g}"}} '
+                f"{_format_value(self.quantile(q))}"
+            )
+        with self._lock:
+            count, total = self._count, self._sum
+        lines.append(f"{self.name}_count {count}")
+        lines.append(f"{self.name}_sum {_format_value(total)}")
+        return lines
+
+
+class ServiceMetrics:
+    """The service's metric family, ready to render as one exposition."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self.requests = Counter(
+            "repro_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+        )
+        self.assignments = Counter(
+            "repro_assignments_total",
+            "Deadline assignments served, by source (computed|cache).",
+        )
+        self.cache_hits = Counter(
+            "repro_cache_hits_total", "Assignment cache hits."
+        )
+        self.cache_misses = Counter(
+            "repro_cache_misses_total", "Assignment cache misses."
+        )
+        self.admissions = Counter(
+            "repro_admissions_total",
+            "Admission verdicts issued, by outcome (admitted|rejected).",
+        )
+        self.batches = Counter(
+            "repro_batches_total", "Micro-batches dispatched to the pool."
+        )
+        self.batched_items = Counter(
+            "repro_batched_items_total", "Requests carried inside batches."
+        )
+        self.errors = Counter(
+            "repro_request_errors_total",
+            "Requests rejected or failed, by kind.",
+        )
+        self.assign_latency = LatencySummary(
+            "repro_assign_latency_seconds",
+            "End-to-end POST /assign service latency.",
+            window=latency_window,
+        )
+
+    def observe_batch(self, size: int) -> None:
+        """Micro-batcher dispatch hook."""
+        self.batches.inc()
+        self.batched_items.inc(size)
+
+    def cache_hit_rate(self) -> float:
+        hits = self.cache_hits.total()
+        total = hits + self.cache_misses.total()
+        return hits / total if total else 0.0
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for counter in (
+            self.requests,
+            self.assignments,
+            self.cache_hits,
+            self.cache_misses,
+            self.admissions,
+            self.batches,
+            self.batched_items,
+            self.errors,
+        ):
+            lines.extend(counter.render())
+        lines.extend(
+            [
+                "# HELP repro_cache_hit_rate Assignment cache hit rate "
+                "(hits / lookups).",
+                "# TYPE repro_cache_hit_rate gauge",
+                f"repro_cache_hit_rate {_format_value(self.cache_hit_rate())}",
+            ]
+        )
+        lines.extend(self.assign_latency.render())
+        return "\n".join(lines) + "\n"
+
+
+def render_prometheus(metrics: ServiceMetrics) -> str:
+    """Render *metrics* as a Prometheus text-format exposition."""
+    return metrics.render()

@@ -1,0 +1,299 @@
+"""The online deadline-assignment service and its stdlib HTTP front end.
+
+Two layers:
+
+* :class:`DeadlineAssignmentService` — the embeddable engine: canonical
+  digest → LRU cache → micro-batched slicing, plus an optional stateful
+  admission path that reuses :class:`repro.online.AdmissionController`
+  (one controller per distinct platform, keyed by platform digest, so
+  successive admitted applications accumulate residual-capacity
+  commitments exactly as in the offline §7.2 experiments).
+* :func:`create_server` — a :class:`ThreadingHTTPServer` exposing
+
+  - ``POST /assign``  — JSON request in, per-task slices (+ verdict) out,
+  - ``GET /healthz``  — liveness probe,
+  - ``GET /metrics``  — Prometheus text exposition.
+
+Every :class:`~repro.errors.ReproError` maps to HTTP 400 with a JSON
+``{"error": ..., "kind": ...}`` body; anything else is a 500.  The
+response's ``cached`` flag and the cache-hit counters make the caching
+behaviour observable end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..core.assignment import DeadlineAssignment
+from ..core.slicing import distribute_deadlines
+from ..errors import ReproError
+from ..online.admission import AdmissionController, AdmissionDecision
+from ..system.platform import Platform
+from .api import (
+    AssignRequest,
+    AssignResponse,
+    _canonical_platform_doc,
+    request_digest,
+    request_from_dict,
+    response_from_assignment,
+    response_to_dict,
+)
+from .batch import MicroBatcher
+from .cache import AssignmentCache
+from .metrics import ServiceMetrics
+
+__all__ = ["DeadlineAssignmentService", "ServiceHTTPServer", "create_server"]
+
+
+class DeadlineAssignmentService:
+    """Cache-fronted, micro-batched deadline-assignment engine.
+
+    Parameters
+    ----------
+    cache_size:
+        LRU entry budget for computed assignments.
+    batch_size / batch_wait / workers:
+        Micro-batcher knobs (largest batch, max coalescing wait in
+        seconds, pool threads).
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_size: int = 1024,
+        batch_size: int = 8,
+        batch_wait: float = 0.002,
+        workers: int = 4,
+    ) -> None:
+        self.metrics = ServiceMetrics()
+        self.cache: AssignmentCache[DeadlineAssignment] = AssignmentCache(
+            cache_size
+        )
+        self.batcher: MicroBatcher[AssignRequest, DeadlineAssignment] = (
+            MicroBatcher(
+                self._compute,
+                max_batch=batch_size,
+                max_wait=batch_wait,
+                workers=workers,
+                on_batch=self.metrics.observe_batch,
+            )
+        )
+        self._controllers: dict[str, AdmissionController] = {}
+        self._admission_lock = threading.Lock()
+        self._app_seq = 0
+
+    # ------------------------------------------------------------------
+    def assign(self, request: AssignRequest) -> AssignResponse:
+        """Serve one request: cache lookup, else batched computation."""
+        start = time.perf_counter()
+        digest = request_digest(request)
+        assignment = self.cache.get(digest)
+        cached = assignment is not None
+        if cached:
+            self.metrics.cache_hits.inc()
+            self.metrics.assignments.inc(source="cache")
+        else:
+            self.metrics.cache_misses.inc()
+            assignment = self.batcher.submit(request).result()
+            self.cache.put(digest, assignment)
+            self.metrics.assignments.inc(source="computed")
+        admission = self._admit(request) if request.admit else None
+        self.metrics.assign_latency.observe(time.perf_counter() - start)
+        return response_from_assignment(
+            assignment, digest, cached=cached, admission=admission
+        )
+
+    def assign_dict(self, data: Any) -> dict[str, Any]:
+        """Dict-in/dict-out convenience wrapper (the HTTP body path)."""
+        return response_to_dict(self.assign(request_from_dict(data)))
+
+    def close(self) -> None:
+        """Stop the batcher; in-flight requests complete first."""
+        self.batcher.close()
+
+    def __enter__(self) -> "DeadlineAssignmentService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _compute(self, request: AssignRequest) -> DeadlineAssignment:
+        return distribute_deadlines(
+            request.graph,
+            request.platform,
+            request.metric,
+            estimator=request.estimator,
+            params=request.params,
+        )
+
+    def _platform_key(self, platform: Platform) -> str:
+        text = json.dumps(
+            _canonical_platform_doc(platform),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def _admit(self, request: AssignRequest) -> AdmissionDecision:
+        """Run the stateful admission path for *request*.
+
+        The controller for the request's platform is created on first
+        use and keeps its commitments across requests; the lock
+        serializes submissions because controller state is not
+        thread-safe and arrivals must be monotone.
+        """
+        key = self._platform_key(request.platform)
+        with self._admission_lock:
+            controller = self._controllers.get(key)
+            if controller is None:
+                controller = AdmissionController(
+                    request.platform,
+                    metric=request.metric,
+                    estimator=request.estimator,
+                    params=request.params,
+                )
+                self._controllers[key] = controller
+            self._app_seq += 1
+            app_id = request.app_id or f"app-{self._app_seq}"
+            arrival = (
+                request.arrival
+                if request.arrival is not None
+                else controller.clock
+            )
+            decision = controller.submit(
+                app_id,
+                request.graph,
+                arrival=arrival,
+                relative_deadline=request.relative_deadline,
+            )
+        outcome = "admitted" if decision.admitted else "rejected"
+        self.metrics.admissions.inc(outcome=outcome)
+        return decision
+
+    def admission_controller(
+        self, platform: Platform
+    ) -> AdmissionController | None:
+        """The controller serving *platform*'s admissions, if any yet."""
+        with self._admission_lock:
+            return self._controllers.get(self._platform_key(platform))
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one service instance."""
+
+    daemon_threads = True
+
+    def __init__(
+        self, address: tuple[str, int], service: DeadlineAssignmentService
+    ) -> None:
+        super().__init__(address, _ServiceRequestHandler)
+        self.service = service
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+    # Small JSON responses after sub-ms cache hits sit exactly in the
+    # Nagle + delayed-ACK stall window; send segments immediately.
+    disable_nagle_algorithm = True
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"}, endpoint="healthz")
+        elif self.path == "/metrics":
+            body = self.server.service.metrics.render().encode()
+            self.server.service.metrics.requests.inc(
+                endpoint="metrics", status="200"
+            )
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self._send_json(
+                404,
+                {"error": f"unknown path {self.path!r}"},
+                endpoint="unknown",
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/assign":
+            self._send_json(
+                404,
+                {"error": f"unknown path {self.path!r}"},
+                endpoint="unknown",
+            )
+            return
+        service = self.server.service
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length)
+            data = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            service.metrics.errors.inc(kind="bad_json")
+            self._send_json(
+                400,
+                {"error": f"request body is not valid JSON: {exc}"},
+                endpoint="assign",
+            )
+            return
+        try:
+            doc = service.assign_dict(data)
+        except ReproError as exc:
+            service.metrics.errors.inc(kind=type(exc).__name__)
+            self._send_json(
+                400,
+                {"error": str(exc), "kind": type(exc).__name__},
+                endpoint="assign",
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            service.metrics.errors.inc(kind="internal")
+            self._send_json(
+                500,
+                {"error": f"internal error: {exc}"},
+                endpoint="assign",
+            )
+            return
+        self._send_json(200, doc, endpoint="assign")
+
+    # ------------------------------------------------------------------
+    def _send_json(
+        self, status: int, doc: dict[str, Any], *, endpoint: str
+    ) -> None:
+        self.server.service.metrics.requests.inc(
+            endpoint=endpoint, status=str(status)
+        )
+        body = json.dumps(doc, allow_nan=False).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging is the metrics endpoint's job
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    service: DeadlineAssignmentService | None = None,
+) -> ServiceHTTPServer:
+    """Bind a :class:`ServiceHTTPServer`; ``port=0`` picks a free port.
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()``/``server_close()`` to stop, and
+    ``server.service.close()`` to drain the batcher.
+    """
+    if service is None:
+        service = DeadlineAssignmentService()
+    return ServiceHTTPServer((host, port), service)

@@ -103,6 +103,13 @@ class TestRunExperiment:
         with pytest.raises(ExperimentError):
             run_experiment(tiny_spec(), trials=0)
 
+    def test_nonpositive_jobs_rejected(self):
+        # a domain error, not ProcessPoolExecutor's opaque ValueError
+        with pytest.raises(ExperimentError, match="jobs must be at least 1"):
+            run_experiment(tiny_spec(), trials=4, jobs=0)
+        with pytest.raises(ExperimentError, match="jobs"):
+            run_experiment(tiny_spec(), trials=4, jobs=-2)
+
     def test_to_dict(self):
         res = run_experiment(tiny_spec(), trials=4, seed=1, jobs=1)
         doc = res.to_dict()

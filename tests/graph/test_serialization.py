@@ -5,6 +5,8 @@ import pytest
 from repro.errors import SerializationError
 from repro.graph import (
     GraphBuilder,
+    canonical_graph_json,
+    graph_digest,
     graph_from_dict,
     graph_to_dict,
     load_graph,
@@ -47,6 +49,67 @@ class TestRoundTrip:
         g2 = load_graph(path)
         assert g2.n_tasks == g.n_tasks
         assert g2.n_edges == g.n_edges
+
+
+def scrambled_graph():
+    """The same structure as :func:`rich_graph`, built in another order."""
+    return (
+        GraphBuilder()
+        .task("c", 15)
+        .task("b", 20, relative_deadline=30.0, period=100.0)
+        .task("a", {"slow": 12, "fast": 8}, phasing=2.0, resources=["bus"])
+        .edge("b", "c")
+        .edge("a", "b", message=2.5)
+        .e2e("a", "c", 120)
+        .build()
+    )
+
+
+class TestCanonicalForm:
+    def test_construction_order_does_not_change_the_document(self):
+        assert graph_to_dict(rich_graph()) == graph_to_dict(scrambled_graph())
+
+    def test_tasks_and_edges_emitted_sorted(self):
+        doc = graph_to_dict(scrambled_graph())
+        assert [t["id"] for t in doc["tasks"]] == ["a", "b", "c"]
+        assert [(e["src"], e["dst"]) for e in doc["edges"]] == [
+            ("a", "b"),
+            ("b", "c"),
+        ]
+        assert list(doc["tasks"][0]["wcet"]) == ["fast", "slow"]
+
+    def test_canonical_json_is_compact_and_deterministic(self):
+        text = canonical_graph_json(rich_graph())
+        assert ": " not in text and ", " not in text
+        assert text == canonical_graph_json(scrambled_graph())
+
+
+class TestDigest:
+    def test_digest_is_sha256_hex(self):
+        digest = graph_digest(rich_graph())
+        assert len(digest) == 64
+        int(digest, 16)  # hex-parseable
+
+    def test_equal_graphs_share_a_digest(self):
+        assert graph_digest(rich_graph()) == graph_digest(scrambled_graph())
+
+    def test_any_content_change_changes_the_digest(self):
+        base = graph_digest(rich_graph())
+        heavier = (
+            GraphBuilder()
+            .task("a", {"fast": 8, "slow": 12}, phasing=2.0, resources=["bus"])
+            .task("b", 20, relative_deadline=30.0, period=100.0)
+            .task("c", 16)  # one WCET nudged
+            .edge("a", "b", message=2.5)
+            .edge("b", "c")
+            .e2e("a", "c", 120)
+            .build()
+        )
+        assert graph_digest(heavier) != base
+
+    def test_digest_survives_round_trip(self):
+        g = rich_graph()
+        assert graph_digest(graph_from_dict(graph_to_dict(g))) == graph_digest(g)
 
 
 class TestMalformed:

@@ -1,0 +1,28 @@
+"""Shared fixtures for the online-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import chain_graph, graph_to_dict
+from repro.system import identical_platform
+from repro.system.platform import platform_to_dict
+
+
+def chain_request(
+    wcets=(10, 20, 15), deadline=90.0, m=2, **extra
+) -> dict:
+    """A minimal valid ``POST /assign`` body over a chain graph."""
+    graph = chain_graph(list(wcets))
+    graph.set_uniform_e2e_deadline(deadline)
+    doc = {
+        "graph": graph_to_dict(graph),
+        "platform": platform_to_dict(identical_platform(m)),
+    }
+    doc.update(extra)
+    return doc
+
+
+@pytest.fixture
+def request_doc() -> dict:
+    return chain_request()

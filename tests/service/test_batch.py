@@ -1,0 +1,120 @@
+"""Unit tests for the micro-batching queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service import MicroBatcher
+
+
+class TestBatching:
+    def test_single_item_round_trip(self):
+        with MicroBatcher(lambda x: x * 2, max_wait=0.01) as batcher:
+            assert batcher.submit(21).result(timeout=5) == 42
+
+    def test_results_map_to_their_items(self):
+        with MicroBatcher(lambda x: x + 1, max_batch=4, max_wait=0.05) as b:
+            futures = [b.submit(i) for i in range(10)]
+            assert [f.result(timeout=5) for f in futures] == list(range(1, 11))
+
+    def test_burst_coalesces_into_one_batch(self):
+        sizes: list[int] = []
+        gate = threading.Event()
+
+        def handler(x):
+            gate.wait(5)
+            return x
+
+        batcher = MicroBatcher(
+            handler, max_batch=4, max_wait=0.5, on_batch=sizes.append
+        )
+        try:
+            # Four near-simultaneous submissions, well inside max_wait.
+            futures = [batcher.submit(i) for i in range(4)]
+            gate.set()
+            for f in futures:
+                f.result(timeout=5)
+            assert sizes == [4]
+        finally:
+            batcher.close()
+
+    def test_batch_closes_at_max_batch(self):
+        sizes: list[int] = []
+        batcher = MicroBatcher(
+            lambda x: x, max_batch=2, max_wait=10.0, on_batch=sizes.append
+        )
+        try:
+            futures = [batcher.submit(i) for i in range(4)]
+            for f in futures:
+                f.result(timeout=5)
+            # max_wait is huge, so only the size cap can close batches.
+            assert sizes == [2, 2]
+        finally:
+            batcher.close()
+
+    def test_exception_fails_only_that_item(self):
+        def handler(x):
+            if x == 2:
+                raise ValueError("boom")
+            return x
+
+        with MicroBatcher(handler, max_batch=4, max_wait=0.05) as batcher:
+            futures = [batcher.submit(i) for i in range(4)]
+            assert futures[0].result(timeout=5) == 0
+            with pytest.raises(ValueError, match="boom"):
+                futures[2].result(timeout=5)
+            assert futures[3].result(timeout=5) == 3
+
+    def test_observer_errors_are_swallowed(self):
+        def bad_observer(size):
+            raise RuntimeError("observer bug")
+
+        with MicroBatcher(
+            lambda x: x, max_wait=0.01, on_batch=bad_observer
+        ) as batcher:
+            assert batcher.submit(7).result(timeout=5) == 7
+
+
+class TestLifecycle:
+    def test_close_drains_outstanding_work(self):
+        batcher = MicroBatcher(lambda x: x, max_batch=2, max_wait=0.01)
+        futures = [batcher.submit(i) for i in range(6)]
+        batcher.close()
+        assert [f.result(timeout=1) for f in futures] == list(range(6))
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(lambda x: x)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(1)
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(lambda x: x)
+        batcher.close()
+        batcher.close()
+
+    def test_parallel_workers_overlap_batches(self):
+        started = threading.Barrier(2, timeout=5)
+
+        def handler(x):
+            started.wait()  # both workers must be in flight at once
+            return x
+
+        batcher = MicroBatcher(handler, max_batch=1, max_wait=0.0, workers=2)
+        try:
+            futures = [batcher.submit(i) for i in range(2)]
+            assert sorted(f.result(timeout=5) for f in futures) == [0, 1]
+        finally:
+            batcher.close()
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda x: x, max_batch=0)
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda x: x, max_wait=-1.0)
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda x: x, workers=0)

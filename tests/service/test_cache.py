@@ -1,0 +1,81 @@
+"""Unit tests for the content-addressed LRU assignment cache."""
+
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service import AssignmentCache
+
+
+class TestLru:
+    def test_miss_then_hit(self):
+        cache = AssignmentCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = AssignmentCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats().evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = AssignmentCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: nothing evicted
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_len_and_clear(self):
+        cache = AssignmentCache(maxsize=8)
+        for i in range(5):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 5
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().misses == 0  # counters survive, no lookups yet
+
+    def test_keys_in_recency_order(self):
+        cache = AssignmentCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert cache.keys() == ["b", "a"]
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ValidationError):
+            AssignmentCache(maxsize=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_hammer_keeps_exact_counters(self):
+        cache = AssignmentCache(maxsize=64)
+        lookups_per_thread = 500
+        threads = 8
+
+        def worker(tid: int) -> None:
+            for i in range(lookups_per_thread):
+                key = f"{tid}-{i % 32}"
+                if cache.get(key) is None:
+                    cache.put(key, i)
+
+        pool = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        stats = cache.stats()
+        assert stats.lookups == threads * lookups_per_thread
+        assert stats.size <= 64

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_serve_parser, main
 
 
 class TestParser:
@@ -34,6 +34,10 @@ class TestMain:
         assert main(["fig99", "--trials", "1"]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_bad_jobs_is_clean_error(self, capsys):
+        assert main(["abl-kl", "--trials", "1", "--jobs", "0"]) == 1
+        assert "jobs must be at least 1" in capsys.readouterr().err
+
     def test_tiny_run_writes_outputs(self, tmp_path, capsys):
         code = main(
             [
@@ -51,3 +55,36 @@ class TestMain:
         assert doc["trials_per_cell"] == 2
         assert (tmp_path / "abl-kl.csv").exists()
         assert (tmp_path / "abl-kl.md").read_text().startswith("###")
+
+
+class TestSubcommands:
+    def test_explicit_figures_subcommand_is_back_compat(self, capsys):
+        assert main(["figures", "--list"]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_figures_subcommand_runs_experiments(self, tmp_path, capsys):
+        code = main(
+            ["figures", "abl-kl", "--trials", "1", "--jobs", "1",
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "abl-kl.json").exists()
+
+    def test_serve_parser_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8077
+        assert args.cache_size == 1024
+        assert args.batch_size == 8
+        assert args.workers == 4
+
+    def test_serve_parser_flags(self):
+        args = build_serve_parser().parse_args(
+            ["--port", "0", "--cache-size", "16", "--batch-wait", "0.01"]
+        )
+        assert args.port == 0 and args.cache_size == 16
+        assert args.batch_wait == 0.01
+
+    def test_serve_rejects_bad_cache_size(self, capsys):
+        assert main(["serve", "--cache-size", "0"]) == 2
+        assert "cache maxsize" in capsys.readouterr().err

@@ -95,6 +95,74 @@ class TestAdmission:
         assert problems == []
 
 
+class TestRejectionRollback:
+    """A rejected application must leave every commitment untouched."""
+
+    def _loaded_controller(self):
+        ctrl = AdmissionController(identical_platform(1), metric="PURE")
+        assert ctrl.submit("keep", app(), arrival=0.0, relative_deadline=50.0)
+        return ctrl
+
+    def test_deadline_infeasible_app_rejected_with_reason(self):
+        ctrl = AdmissionController(identical_platform(2), metric="PURE")
+        # total work 45 on a chain; a 20-unit window cannot hold it
+        decision = ctrl.submit(
+            "tight", app(), arrival=0.0, relative_deadline=20.0
+        )
+        assert not decision.admitted
+        assert decision.reason
+
+    def test_admitted_ids_stable_after_rejection(self):
+        ctrl = self._loaded_controller()
+        ctrl.submit("reject", app(), arrival=0.0, relative_deadline=50.0)
+        assert ctrl.admitted_ids() == ["keep"]
+
+    def test_committed_schedule_unchanged_after_rejection(self):
+        ctrl = self._loaded_controller()
+        before = {
+            tid: (e.processor, e.start, e.finish)
+            for tid, e in ctrl.combined_schedule().entries.items()
+        }
+        horizon = ctrl.utilization_horizon()
+        ctrl.submit("reject", app(), arrival=0.0, relative_deadline=50.0)
+        after = {
+            tid: (e.processor, e.start, e.finish)
+            for tid, e in ctrl.combined_schedule().entries.items()
+        }
+        assert after == before
+        assert ctrl.utilization_horizon() == horizon
+
+    def test_rejected_id_can_be_resubmitted_later(self):
+        ctrl = self._loaded_controller()
+        rejected = ctrl.submit(
+            "retry", app(), arrival=0.0, relative_deadline=50.0
+        )
+        assert not rejected.admitted
+        # the id left no trace, so a later (feasible) retry is admitted
+        retried = ctrl.submit(
+            "retry", app(), arrival=60.0, relative_deadline=50.0
+        )
+        assert retried.admitted
+        assert ctrl.admitted_ids() == ["keep", "retry"]
+
+    def test_clock_advances_even_on_rejection(self):
+        ctrl = self._loaded_controller()
+        ctrl.submit("reject", app(), arrival=10.0, relative_deadline=1.0)
+        assert ctrl.clock == 10.0
+        with pytest.raises(SchedulingError):
+            ctrl.submit("late", app(), arrival=5.0, relative_deadline=50.0)
+
+    def test_degenerate_rejection_rolls_back_too(self):
+        ctrl = self._loaded_controller()
+        horizon = ctrl.utilization_horizon()
+        decision = ctrl.submit(
+            "degen", chain_graph([5, 50]), arrival=0.0, relative_deadline=10.0
+        )
+        assert not decision.admitted
+        assert ctrl.utilization_horizon() == horizon
+        assert ctrl.admitted_ids() == ["keep"]
+
+
 class TestGuards:
     def test_duplicate_id_rejected(self):
         ctrl = AdmissionController(identical_platform(1), metric="PURE")
