@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Benchmark the paired-trial engine against the per-cell engine.
+
+Runs the same 4-series sweep (the shape of the paper's Figs. 2–4: one
+curve per metric) through both ``run_experiment`` engines with
+``jobs=1`` — serial execution isolates the amortization win from
+process-pool effects — asserts the results are bit-identical, and
+records the speedup to ``BENCH_runner.json`` so the perf trajectory of
+the Monte Carlo hot path is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_runner.py [--trials N] [--repeats R]
+    make bench-runner
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+
+from repro.core.metrics import METRIC_NAMES
+from repro.experiments import ExperimentSpec, TrialConfig, run_experiment
+from repro.workload import WorkloadParams
+
+
+def build_spec() -> ExperimentSpec:
+    """A 4-series sweep over the system size (fig2-shaped)."""
+    base = WorkloadParams()  # the paper's defaults: 40-60 tasks, m swept
+
+    def config_for(x, metric: str) -> TrialConfig:
+        return TrialConfig(workload=base.with_overrides(m=int(x)), metric=metric)
+
+    return ExperimentSpec(
+        name="bench-runner",
+        title="Paired-engine benchmark (4 metrics over system size)",
+        x_label="processors m",
+        x_values=(3, 6),
+        series=METRIC_NAMES,
+        config_for=config_for,
+    )
+
+
+def time_engine(
+    spec: ExperimentSpec, engine: str, trials: int, seed: int, repeats: int
+) -> tuple[float, dict]:
+    """Best-of-*repeats* wall-clock for one engine, plus its result doc."""
+    best = float("inf")
+    doc = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_experiment(
+            spec, trials=trials, seed=seed, jobs=1, engine=engine
+        )
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        doc = result.to_dict()
+        doc.pop("elapsed_seconds")
+    return best, doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trials", type=int, default=96, help="trials per cell (default 96)"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per engine; best run is kept (default 3)",
+    )
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_runner.json",
+        help="output JSON path (default: repo-root BENCH_runner.json)",
+    )
+    args = parser.parse_args(argv)
+
+    spec = build_spec()
+    print(
+        f"benchmarking {len(spec.series)}-series sweep, "
+        f"{len(spec.x_values)} x-values, {args.trials} trials/cell, jobs=1"
+    )
+
+    percell_s, percell_doc = time_engine(
+        spec, "percell", args.trials, args.seed, args.repeats
+    )
+    print(f"percell engine: {percell_s:.3f} s")
+    paired_s, paired_doc = time_engine(
+        spec, "paired", args.trials, args.seed, args.repeats
+    )
+    print(f"paired engine:  {paired_s:.3f} s")
+
+    if percell_doc != paired_doc:
+        print("FATAL: engines disagree — results are not bit-identical")
+        return 1
+    speedup = percell_s / paired_s
+    print(f"speedup: {speedup:.2f}x (bit-identical results)")
+
+    doc = {
+        "format": "repro.bench-runner/1",
+        "spec": spec.name,
+        "series": list(spec.series),
+        "x_values": list(spec.x_values),
+        "trials_per_cell": args.trials,
+        "seed": args.seed,
+        "jobs": 1,
+        "repeats": args.repeats,
+        "percell_seconds": round(percell_s, 6),
+        "paired_seconds": round(paired_s, 6),
+        "speedup": round(speedup, 4),
+        "bit_identical": True,
+        "python": platform_mod.python_version(),
+        "machine": platform_mod.machine(),
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,8 @@ class FixedAssignmentEdfScheduler(EdfListScheduler):
         resource_free,
         comm_model,
         arrival,
+        predecessors=None,
+        processors=None,
     ):
         proc_id = self._fixed.processor_of(tid)
         cls = platform.class_of(proc_id)
@@ -45,11 +47,13 @@ class FixedAssignmentEdfScheduler(EdfListScheduler):
                 f"strict assignment places task {tid!r} on processor "
                 f"{proc_id!r} (class {cls!r}) where it is ineligible"
             )
+        if predecessors is None:
+            predecessors = graph.predecessors(tid)
         resource_floor = max(
             (resource_free.get(r, 0.0) for r in task.resources), default=0.0
         )
         data_ready = arrival
-        for pred in graph.predecessors(tid):
+        for pred in predecessors:
             entry = entries.get(pred)
             if entry is None:
                 continue

@@ -100,6 +100,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: CPU count; 1 = serial)",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=32,
+        help="trials per worker unit (default 32; results are invariant)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("paired", "percell"),
+        default="paired",
+        help="execution engine: 'paired' generates each workload once per "
+        "sweep point and judges it with every series (default); 'percell' "
+        "is the historical one-unit-per-cell engine (results are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -243,7 +258,12 @@ def figures_main(argv: list[str] | None = None) -> int:
             else:
                 spec = get_figure_spec(name)
             result = run_experiment(
-                spec, trials=args.trials, seed=args.seed, jobs=args.jobs
+                spec,
+                trials=args.trials,
+                seed=args.seed,
+                jobs=args.jobs,
+                chunk_size=args.chunk_size,
+                engine=args.engine,
             )
         except ReproError as exc:
             print(f"error running {name!r}: {exc}", file=sys.stderr)

@@ -147,14 +147,28 @@ class CriticalPathMetric(ABC):
     #: Reporting/registry name.
     name: str = "?"
 
+    #: Whether :meth:`prepare` consumes a transitive closure.  Callers
+    #: that already hold one (e.g. the paired-trial experiment engine)
+    #: consult this flag so the closure is built at most once per
+    #: workload instead of once per metric preparation.
+    uses_closure: bool = False
+
     @abstractmethod
     def prepare(
         self,
         graph: TaskGraph,
         estimates: Mapping[str, Time],
         platform: Platform,
+        *,
+        closure: TransitiveClosure | None = None,
     ) -> MetricState:
-        """Precompute per-workload state (virtual times etc.)."""
+        """Precompute per-workload state (virtual times etc.).
+
+        ``closure`` optionally injects a prebuilt
+        :class:`~repro.graph.algorithms.TransitiveClosure` of *graph* so
+        closure-consuming metrics (see :attr:`uses_closure`) skip the
+        re-derivation; metrics that do not need reachability ignore it.
+        """
 
     @abstractmethod
     def ratio_from_totals(
@@ -210,6 +224,8 @@ class PureMetric(_EqualShareMetric):
         graph: TaskGraph,
         estimates: Mapping[str, Time],
         platform: Platform,
+        *,
+        closure: TransitiveClosure | None = None,
     ) -> MetricState:
         return MetricState(self.name, dict(estimates))
 
@@ -224,6 +240,8 @@ class NormMetric(CriticalPathMetric):
         graph: TaskGraph,
         estimates: Mapping[str, Time],
         platform: Platform,
+        *,
+        closure: TransitiveClosure | None = None,
     ) -> MetricState:
         return MetricState(self.name, dict(estimates))
 
@@ -259,6 +277,8 @@ class AdaptGMetric(_EqualShareMetric):
         graph: TaskGraph,
         estimates: Mapping[str, Time],
         platform: Platform,
+        *,
+        closure: TransitiveClosure | None = None,
     ) -> MetricState:
         xi = average_parallelism(graph, lambda tid: estimates[tid])
         virtual = virtual_times_global(
@@ -282,6 +302,7 @@ class AdaptLMetric(_EqualShareMetric):
     """
 
     name = "ADAPT-L"
+    uses_closure = True
 
     def __init__(self, params: AdaptiveParams | None = None) -> None:
         self.params = params or AdaptiveParams()
@@ -291,8 +312,11 @@ class AdaptLMetric(_EqualShareMetric):
         graph: TaskGraph,
         estimates: Mapping[str, Time],
         platform: Platform,
+        *,
+        closure: TransitiveClosure | None = None,
     ) -> MetricState:
-        closure = TransitiveClosure(graph)
+        if closure is None:
+            closure = TransitiveClosure(graph)
         sizes = {
             tid: closure.parallel_set_size(tid) for tid in graph.task_ids()
         }

@@ -24,6 +24,14 @@ metric weight ``Σ ŵ`` along the path; one longest-path DP per head
 (linear in nodes + arcs) yields the best candidate per pair, and the
 global minimum-``R`` candidate wins.  This matches the breadth-first
 heuristic search and per-iteration complexity the paper describes.
+
+This function is the hot loop of the Monte Carlo evaluation, so the
+search space is filtered to Π once per call and candidate paths are
+only materialized when they win: both the filtering and the lazy
+reconstruction leave the relaxation order, every floating-point
+operation, and the tie-breaking (larger weight, then longer path, then
+lexicographically smallest path — an order-independent rule) exactly as
+in the direct formulation, so results are bit-identical.
 """
 
 from __future__ import annotations
@@ -63,6 +71,11 @@ def find_critical_path(
     state: MetricState,
     *,
     topo_order: Sequence[str] | None = None,
+    successors: Mapping[str, Sequence[str]] | None = None,
+    dp_cache: dict[str, tuple] | None = None,
+    best_cache: dict[str, "PathCandidate | None"] | None = None,
+    order_active: Sequence[str] | None = None,
+    succ_active: Mapping[str, Sequence[str]] | None = None,
 ) -> PathCandidate | None:
     """Find the minimum-``R`` path among the active tasks.
 
@@ -79,88 +92,202 @@ def find_critical_path(
         The critical-path metric and its prepared per-workload state.
     topo_order:
         Optional precomputed topological order of the full graph (an
-        optimization for the slicing main loop).
+        optimization for the slicing main loop, which calls this once
+        per iteration on the same graph).
+    successors:
+        Optional precomputed immediate-successor adjacency (id → ids),
+        same contract as *topo_order*.
+    dp_cache:
+        Optional per-head DP memo maintained by the slicing main loop
+        across its iterations, mapping head → ``(dist, count, parent)``.
+        Entries must be invalidated by the caller whenever a task in the
+        entry's reached set (``dist``'s keys) leaves ``active``; pin
+        changes never invalidate an entry, because pins only enter the
+        candidate *scoring* below (``arrivals``/``deadlines`` are read
+        fresh on every call), not the reachability DP.
+    best_cache:
+        Optional per-head best-candidate memo (requires *dp_cache*),
+        mapping head → its winning :class:`PathCandidate` (or ``None``
+        when no pinned tail is reachable).  On top of the *dp_cache*
+        contract, the caller must drop a head's entry whenever that
+        head's own arrival pin changes (its windows shift) or a deadline
+        pin is added/changed on a task in the head's reached set (its
+        tail set shifts).  Valid entries make a head's whole scoring
+        pass O(1); candidate selection is unaffected because the
+        tie-breaking below is a total order over candidates (two
+        distinct head/tail pairs can never produce the same path), so
+        per-head winners merged in any order give the same global
+        winner as one flat scan.
+    order_active / succ_active:
+        Optional Π-restricted topological order / adjacency maintained
+        incrementally by the slicing loop (both must equal filtering
+        ``topo_order``/``successors`` to ``active`` with relative order
+        preserved, which is all this function would compute from them).
 
     Returns ``None`` when no head can reach a tail, which for a valid
     workload only happens once ``active`` is empty.
     """
     if not active:
         return None
-    order = topo_order if topo_order is not None else graph.topological_order()
     weights = state.weights
 
-    heads = [t for t in order if t in active and t in arrivals]
+    # Restrict the search space to Π once per call: the per-head DPs
+    # only ever visit active tasks and Π-internal arcs, so filtering
+    # here saves a membership test per (head, arc) pair in the hot loop.
+    # The relative topological order is preserved, so DP relaxations
+    # (and hence every outcome) are unchanged.
+    if order_active is None:
+        order = (
+            topo_order if topo_order is not None
+            else graph.topological_order()
+        )
+        order_active = [t for t in order if t in active]
+    if succ_active is None and successors is None:
+        successors = {tid: graph.successors(tid) for tid in order_active}
+    heads = [(i, t) for i, t in enumerate(order_active) if t in arrivals]
+
     best: PathCandidate | None = None
+    n_active = len(order_active)
+    ratio_from_totals = metric.ratio_from_totals
 
-    for head in heads:
-        # Longest-Σw DP from `head` over Π-internal chains.
-        dist: dict[str, Time] = {head: weights[head]}
-        count: dict[str, int] = {head: 1}
-        parent: dict[str, str | None] = {head: None}
-        for tid in order:
-            if tid not in dist:
-                continue
-            d_tid = dist[tid]
-            n_tid = count[tid]
-            for succ in graph.successors(tid):
-                if succ not in active:
+    for head_pos, head in heads:
+        if best_cache is not None and head in best_cache:
+            local = best_cache[head]
+            if local is not None:
+                best = local if best is None else _better(best, local)
+            continue
+        cached = dp_cache.get(head) if dp_cache is not None else None
+        if cached is not None:
+            # The reached set is untouched since the entry was stored
+            # (caller contract), so the DP would recompute exactly this.
+            dist, count, parent = cached
+        else:
+            # Longest-Σw DP from `head` over Π-internal chains.  Every
+            # task reachable from `head` lies strictly after it in a
+            # topological order, so scanning the suffix from `head_pos`
+            # visits exactly the reachable part of Π.
+            if succ_active is None:
+                succ_active = {
+                    t: [s for s in successors[t] if s in active]
+                    for t in order_active
+                }
+            dist = {head: weights[head]}
+            count = {head: 1}
+            parent: dict[str, str | None] = {head: None}
+            for pos in range(head_pos, n_active):
+                tid = order_active[pos]
+                d_tid = dist.get(tid)
+                if d_tid is None:
                     continue
-                cand = d_tid + weights[succ]
-                cur = dist.get(succ)
-                if (
-                    cur is None
-                    or cand > cur
-                    or (cand == cur and n_tid + 1 > count[succ])
-                ):
-                    dist[succ] = cand
-                    count[succ] = n_tid + 1
-                    parent[succ] = tid
+                n_tid = count[tid]
+                for succ in succ_active[tid]:
+                    cand = d_tid + weights[succ]
+                    cur = dist.get(succ)
+                    if (
+                        cur is None
+                        or cand > cur
+                        or (cand == cur and n_tid + 1 > count[succ])
+                    ):
+                        dist[succ] = cand
+                        count[succ] = n_tid + 1
+                        parent[succ] = tid
+            if dp_cache is not None:
+                dp_cache[head] = (dist, count, parent)
 
-        for tail, total_w in dist.items():
-            if tail not in deadlines:
+        # Score this head's tails from the DP aggregates.  The running
+        # leader is kept as plain aggregates ``(r, weight, length,
+        # tail)``; its path is materialized once, after the scan — or
+        # mid-scan on an exact aggregate tie, the only case where the
+        # lexicographic rule needs the actual node sequence.
+        leader = None  # (ratio, weight, length, tail, deadline)
+        leader_path: tuple[str, ...] | None = None
+        arr_head = arrivals[head]
+        # The head's tails are the pinned deadlines inside its reached
+        # set: intersect by scanning whichever side is smaller.  The
+        # scan order is irrelevant — the selection rule is a total
+        # order, so the leader after any permutation is the same.
+        if len(dist) < len(deadlines):
+            tails = [(t, deadlines[t]) for t in dist if t in deadlines]
+        else:
+            tails = deadlines.items()
+        for tail, dl_tail in tails:
+            total_w = dist.get(tail)
+            if total_w is None:
                 continue
-            window = deadlines[tail] - arrivals[head]
-            n = count[tail]
-            r = metric.ratio_from_totals(window, total_w, n)
-            # Score candidates from the DP aggregates; materialize the
-            # path only when a candidate wins (or exactly ties) — path
-            # reconstruction dominated the slicing profile otherwise.
-            if best is not None:
-                if r > best.ratio:
+            window = dl_tail - arr_head
+            length = count[tail]
+            r = ratio_from_totals(window, total_w, length)
+            if leader is not None:
+                l_r, l_w, l_len, l_tail, _l_dl = leader
+                if r > l_r:
                     continue
-                if r == best.ratio:
-                    if total_w < best.weight:
+                if r == l_r:
+                    if total_w < l_w:
                         continue
-                    if total_w == best.weight:
-                        if n < len(best.path):
+                    if total_w == l_w:
+                        if length < l_len:
                             continue
-                        if n == len(best.path):
+                        if length == l_len:
+                            if leader_path is None:
+                                leader_path = _reconstruct(parent, l_tail)
                             path = _reconstruct(parent, tail)
-                            if not tuple(path) < best.path:
+                            if not path < leader_path:
                                 continue
-                            best = PathCandidate(
-                                path=tuple(path),
-                                arrival=arrivals[head],
-                                deadline=deadlines[tail],
-                                ratio=r,
-                                weight=total_w,
-                            )
+                            leader = (r, total_w, length, tail, dl_tail)
+                            leader_path = path
                             continue
-            best = PathCandidate(
-                path=tuple(_reconstruct(parent, tail)),
-                arrival=arrivals[head],
-                deadline=deadlines[tail],
+            leader = (r, total_w, length, tail, dl_tail)
+            leader_path = None
+        if leader is None:
+            local = None
+        else:
+            r, total_w, _length, tail, dl_tail = leader
+            local = PathCandidate(
+                path=(
+                    leader_path if leader_path is not None
+                    else _reconstruct(parent, tail)
+                ),
+                arrival=arr_head,
+                deadline=dl_tail,
                 ratio=r,
                 weight=total_w,
             )
+        if best_cache is not None:
+            best_cache[head] = local
+        if local is not None:
+            best = local if best is None else _better(best, local)
     return best
 
 
-def _reconstruct(parent: Mapping[str, str | None], tail: str) -> list[str]:
+def _better(a: PathCandidate, b: PathCandidate) -> PathCandidate:
+    """The winner between two candidates under the selection order.
+
+    Lower ``R`` wins; ties resolve by larger weight, then longer path,
+    then lexicographically smallest path — a total order, since two
+    distinct head/tail pairs always differ in path endpoints.
+    """
+    if b.ratio < a.ratio:
+        return b
+    if b.ratio > a.ratio:
+        return a
+    if b.weight > a.weight:
+        return b
+    if b.weight < a.weight:
+        return a
+    if len(b.path) > len(a.path):
+        return b
+    if len(b.path) < len(a.path):
+        return a
+    return b if b.path < a.path else a
+
+
+def _reconstruct(
+    parent: Mapping[str, str | None], tail: str
+) -> tuple[str, ...]:
     path = [tail]
-    node: str | None = parent[tail]
+    node = parent[tail]
     while node is not None:
         path.append(node)
         node = parent[node]
     path.reverse()
-    return path
+    return tuple(path)

@@ -29,9 +29,10 @@ clamped at zero length and flagged ``degenerate``.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..errors import DistributionError
+from ..graph.algorithms import TransitiveClosure
 from ..graph.taskgraph import TaskGraph
 from ..graph.validation import validate_graph
 from ..system.platform import Platform
@@ -53,6 +54,11 @@ def distribute_deadlines(
     params: AdaptiveParams | None = None,
     estimates: Mapping[str, Time] | None = None,
     validate: bool = True,
+    closure: TransitiveClosure | None = None,
+    topo_order: Sequence[str] | None = None,
+    successors: Mapping[str, Sequence[str]] | None = None,
+    predecessors: Mapping[str, Sequence[str]] | None = None,
+    initial_pins: tuple[Mapping[str, Time], Mapping[str, Time]] | None = None,
 ) -> DeadlineAssignment:
     """Distribute E-T-E deadlines over *graph* for *platform*.
 
@@ -79,6 +85,14 @@ def distribute_deadlines(
         experiments that reuse estimates across metrics).
     validate:
         Run structural validation of the graph first.
+    closure / topo_order / successors / predecessors / initial_pins:
+        Optional prederived graph state (transitive closure, topological
+        order, successor/predecessor adjacency, step-1 boundary pins)
+        injected by callers that evaluate several metrics on the same
+        workload — e.g. the paired-trial experiment engine — so it is
+        computed once per workload instead of once per (metric,
+        workload) pair.  All must describe *graph* exactly; results are
+        identical either way.
 
     Returns
     -------
@@ -91,8 +105,16 @@ def distribute_deadlines(
     est_obj = get_estimator(estimator)
     if estimates is None:
         estimates = estimate_map(graph, est_obj, platform)
-    state = metric_obj.prepare(graph, estimates, platform)
-    assignment = slice_with_state(graph, metric_obj, state)
+    state = metric_obj.prepare(graph, estimates, platform, closure=closure)
+    assignment = slice_with_state(
+        graph,
+        metric_obj,
+        state,
+        topo_order=topo_order,
+        successors=successors,
+        predecessors=predecessors,
+        initial_pins=initial_pins,
+    )
     assignment.estimator_name = est_obj.name
     return assignment
 
@@ -101,37 +123,81 @@ def slice_with_state(
     graph: TaskGraph,
     metric: CriticalPathMetric,
     state,
+    *,
+    topo_order: Sequence[str] | None = None,
+    successors: Mapping[str, Sequence[str]] | None = None,
+    predecessors: Mapping[str, Sequence[str]] | None = None,
+    initial_pins: tuple[Mapping[str, Time], Mapping[str, Time]] | None = None,
 ) -> DeadlineAssignment:
     """Run Algorithm SLICING with a prepared metric state.
 
     Low-level entry point for callers that manage metric preparation
-    themselves (e.g. parameter-sweep experiments).
+    themselves (e.g. parameter-sweep experiments).  ``topo_order``,
+    ``successors``, ``predecessors``, and ``initial_pins`` optionally
+    inject prederived graph state (see :func:`distribute_deadlines`).
     """
-    order = graph.topological_order()
+    order = topo_order if topo_order is not None else graph.topological_order()
+    if successors is None:
+        successors = {tid: graph.successors(tid) for tid in order}
+    if predecessors is None:
+        # Pin the predecessor adjacency once so the attach loop (steps
+        # 5–12) does not re-derive it on every iteration.
+        predecessors = {tid: graph.predecessors(tid) for tid in order}
     active = set(order)
 
     # Step 1: pin arrivals of input tasks and deadlines of output tasks.
-    arrivals: dict[str, Time] = {
-        tid: graph.task(tid).phasing for tid in graph.input_tasks()
-    }
-    deadlines: dict[str, Time] = {}
-    for tid in graph.output_tasks():
-        bound = graph.output_deadline(tid)
-        if bound is None:
-            raise DistributionError(
-                f"output task {tid!r} has no E-T-E deadline; the slicing "
-                "technique needs a window for every output task"
-            )
-        deadlines[tid] = bound
+    if initial_pins is not None:
+        arrivals = dict(initial_pins[0])
+        deadlines = dict(initial_pins[1])
+    else:
+        arrivals: dict[str, Time] = {
+            tid: graph.task(tid).phasing for tid in graph.input_tasks()
+        }
+        deadlines: dict[str, Time] = {}
+        for tid in graph.output_tasks():
+            bound = graph.output_deadline(tid)
+            if bound is None:
+                raise DistributionError(
+                    f"output task {tid!r} has no E-T-E deadline; the slicing "
+                    "technique needs a window for every output task"
+                )
+            deadlines[tid] = bound
 
     windows: dict[str, TaskWindow] = {}
     chosen_paths: list[tuple[str, ...]] = []
     degenerate = False
 
+    # Per-head memos shared across iterations (see find_critical_path):
+    # a DP entry survives as long as its reached set stays inside Π, and
+    # a best-candidate entry additionally requires the head's arrival
+    # pin and every deadline pin in its reach to be unchanged.  The
+    # invalidation sweeps below (attach loop and step 13) guarantee
+    # both, so each iteration pays only for the heads the previous
+    # path actually disturbed.
+    dp_cache: dict[str, tuple] = {}
+    best_cache: dict[str, object] = {}
+
+    # Π-restricted search space, maintained incrementally as paths are
+    # removed (step 13): filtering a filtered sequence by the shrunken Π
+    # gives exactly what filtering the original by it would, with the
+    # relative order intact, so find_critical_path sees the same inputs
+    # it would derive itself.  The lists bound here are never mutated.
+    order_active: list[str] = list(order)
+    succ_active: dict[str, Sequence[str]] = dict(successors)
+
     # Steps 2–14: main loop.
     while active:
         cand = find_critical_path(
-            graph, active, arrivals, deadlines, metric, state, topo_order=order
+            graph,
+            active,
+            arrivals,
+            deadlines,
+            metric,
+            state,
+            dp_cache=dp_cache,
+            best_cache=best_cache,
+            order_active=order_active,
+            succ_active=succ_active,
         )
         if cand is None:
             # Unreachable for valid DAG workloads: every active task lies
@@ -165,25 +231,58 @@ def slice_with_state(
 
         path_set = set(cand.path)
 
-        # Steps 5–12: attach the remaining tasks to the new spine.
+        # Steps 5–12: attach the remaining tasks to the new spine.  An
+        # arrival pin shifts only that head's windows, so only its own
+        # best-candidate memo drops; a deadline pin creates/moves a tail,
+        # which invalidates the memo of every head that reaches it.
+        new_deadline_pins: set[str] = set()
         for tid in cand.path:
             w = windows[tid]
-            for succ in graph.successors(tid):
+            for succ in successors[tid]:
                 if succ in active and succ not in path_set:
                     prev = arrivals.get(succ)
                     if prev is None or w.absolute_deadline > prev:
                         arrivals[succ] = w.absolute_deadline
-            for pred in graph.predecessors(tid):
+                        best_cache.pop(succ, None)
+            for pred in predecessors[tid]:
                 if pred in active and pred not in path_set:
                     prev = deadlines.get(pred)
                     if prev is None or w.arrival < prev:
                         deadlines[pred] = w.arrival
+                        new_deadline_pins.add(pred)
+        if new_deadline_pins:
+            for head, entry in dp_cache.items():
+                if not new_deadline_pins.isdisjoint(entry[0]):
+                    best_cache.pop(head, None)
 
-        # Step 13: remove the path tasks from Π.
+        # Step 13: remove the path tasks from Π.  Drop every memoized DP
+        # whose reached set (its dist keys, which include the head) lost
+        # a task: only those could compute differently on the shrunken Π.
         active -= path_set
         for tid in path_set:
             arrivals.pop(tid, None)
             deadlines.pop(tid, None)
+        for head in [
+            h for h, entry in dp_cache.items()
+            if not path_set.isdisjoint(entry[0])
+        ]:
+            del dp_cache[head]
+            best_cache.pop(head, None)
+
+        # Shrink the Π-restricted search space in place of a rebuild:
+        # drop the removed tasks from the order and from the adjacency
+        # lists of their still-active immediate predecessors.
+        order_active = [t for t in order_active if t not in path_set]
+        touched = set()
+        for tid in path_set:
+            succ_active.pop(tid, None)
+            for pred in predecessors[tid]:
+                if pred in active:
+                    touched.add(pred)
+        for pred in touched:
+            succ_active[pred] = [
+                s for s in succ_active[pred] if s not in path_set
+            ]
 
     return DeadlineAssignment(
         windows=windows,

@@ -13,11 +13,14 @@ from .report import (
     save_csv,
     save_json,
 )
+from .context import TrialContext
 from .runner import (
+    ENGINE_NAMES,
     CellResult,
     ExperimentResult,
     run_cell,
     run_experiment,
+    run_paired_cells,
     run_trial,
 )
 from .spec import ExperimentSpec, TrialConfig, TrialOutcome
@@ -29,7 +32,10 @@ __all__ = [
     "ExperimentSpec",
     "run_trial",
     "run_cell",
+    "run_paired_cells",
     "run_experiment",
+    "ENGINE_NAMES",
+    "TrialContext",
     "CellResult",
     "ExperimentResult",
     "FIGURES",

@@ -1,11 +1,27 @@
-"""Experiment execution: trials, cells, and multiprocessing fan-out.
+"""Experiment execution: paired trials, cells, and multiprocessing fan-out.
 
 Determinism contract: the outcome of a trial depends only on
 ``(root_seed, x_index, trial_index)`` — never on worker
-count or scheduling order.  Workers receive (config, seed-block) pairs
-and return aggregate counts, so inter-process traffic stays tiny (per
-the hpc-parallel guidance: parallelize coarse-grained units, keep the
-serial inner loop simple and measured).
+count, scheduling order, or engine choice.  Workers receive coarse
+(configs, seed-block) pairs and return aggregate counts, so
+inter-process traffic stays tiny (per the hpc-parallel guidance:
+parallelize coarse-grained units, keep the serial inner loop simple and
+measured).
+
+Two engines share the same trial primitive:
+
+* ``"paired"`` (default) — a work unit is ``(x_index, seed_chunk)``
+  covering *every* series of the sweep point.  Each seed's workload is
+  generated once, its derived state (topological order, adjacency,
+  transitive closure, per-estimator WCET maps) is computed once on a
+  :class:`~repro.experiments.context.TrialContext`, and every series is
+  judged on that same workload — the paper's paired design (one fixed
+  set of 1024 task graphs judged by every metric), and a 2–4× wall-clock
+  win on multi-series sweeps.
+* ``"percell"`` — the historical engine: one work unit per
+  ``(x_index, series)`` cell, regenerating the workload per series.
+  Kept for equivalence testing and benchmarking; both engines produce
+  bit-identical cells because trial seeds never depend on the series.
 """
 
 from __future__ import annotations
@@ -17,7 +33,6 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from ..analysis.stats import BinomialEstimate
-from ..core.estimation import estimate_map, get_estimator
 from ..core.metrics import get_metric
 from ..core.slicing import distribute_deadlines
 from ..errors import ExperimentError, ReproError
@@ -25,37 +40,59 @@ from ..rng import derive_seed, make_rng
 from ..sched.listsched import get_scheduler
 from ..system.interconnect import ContentionBus
 from ..workload.generator import generate_workload
+from .context import TrialContext
 from .spec import ExperimentSpec, TrialConfig, TrialOutcome
 
-__all__ = ["run_trial", "run_cell", "run_experiment", "CellResult", "ExperimentResult"]
+__all__ = [
+    "run_trial",
+    "run_cell",
+    "run_paired_cells",
+    "run_experiment",
+    "CellResult",
+    "ExperimentResult",
+    "ENGINE_NAMES",
+]
+
+#: Execution engines accepted by :func:`run_experiment`.
+ENGINE_NAMES: tuple[str, ...] = ("paired", "percell")
 
 
-def run_trial(config: TrialConfig, seed: int) -> TrialOutcome:
-    """Run one generate→slice→schedule trial."""
-    rng = make_rng(seed)
-    workload = generate_workload(config.workload, rng)
-    graph, platform = workload.graph, workload.platform
+def run_trial(
+    config: TrialConfig, seed: int, context: TrialContext | None = None
+) -> TrialOutcome:
+    """Run one generate→slice→schedule trial.
 
-    estimator = get_estimator(config.estimator)
+    ``context`` optionally supplies the trial's generated workload and
+    lazily cached derived state; the paired engine passes one context to
+    every series of a trial.  When omitted, the workload is generated
+    here from *seed* — the outcome is identical either way, because the
+    context only memoizes pure functions of the workload.
+    """
+    if context is None:
+        context = TrialContext(generate_workload(config.workload, make_rng(seed)))
+    graph, platform = context.graph, context.platform
+
     fixed = None
     if config.locality == "strict":
         # Conventional regime: a clustering pre-assignment makes the
         # execution times exact and pins every task's processor.
-        from ..assign import cluster_assignment, exact_estimates
-
-        fixed = cluster_assignment(graph, platform)
-        estimates = exact_estimates(graph, platform, fixed)
+        fixed, estimates = context.strict_assignment()
     else:
-        estimates = estimate_map(graph, estimator, platform)
+        estimates = context.estimates_for(config.estimator)
     metric = get_metric(config.metric, config.adaptive)
 
     assignment = distribute_deadlines(
         graph,
         platform,
         metric,
-        estimator=estimator,
+        estimator=config.estimator,
         estimates=estimates,
         validate=False,  # generator output is valid by construction
+        closure=context.closure if metric.uses_closure else None,
+        topo_order=context.topo_order,
+        successors=context.successors,
+        predecessors=context.predecessors,
+        initial_pins=context.initial_pins,
     )
 
     comm = (
@@ -73,7 +110,14 @@ def run_trial(config: TrialConfig, seed: int) -> TrialOutcome:
         scheduler = get_scheduler(
             config.scheduler, continue_on_miss=config.measure_lateness
         )
-    schedule = scheduler.schedule(graph, platform, assignment, comm=comm)
+    schedule = scheduler.schedule(
+        graph,
+        platform,
+        assignment,
+        comm=comm,
+        predecessors=context.predecessors,
+        successors=context.successors,
+    )
 
     if config.measure_lateness or schedule.feasible:
         max_lateness = schedule.max_lateness()
@@ -143,30 +187,77 @@ def _nan_zero(v: float) -> float:
     return 0.0 if v != v else v
 
 
-def run_cell(config: TrialConfig, seeds: Sequence[int]) -> CellResult:
-    """Run a block of trials of one cell serially (worker unit)."""
-    successes = 0
-    degenerate = 0
-    laxities: list[float] = []
-    latenesses: list[float] = []
-    for seed in seeds:
-        outcome = run_trial(config, seed)
-        successes += int(outcome.success)
-        degenerate += int(outcome.degenerate)
-        laxities.append(outcome.min_laxity)
+class _CellAccumulator:
+    """Streaming aggregation of trial outcomes into one :class:`CellResult`.
+
+    Shared by both engines so their per-chunk floating-point arithmetic
+    is literally the same code (a prerequisite of the bit-identical
+    equivalence contract).
+    """
+
+    __slots__ = ("successes", "degenerate", "laxities", "latenesses")
+
+    def __init__(self) -> None:
+        self.successes = 0
+        self.degenerate = 0
+        self.laxities: list[float] = []
+        self.latenesses: list[float] = []
+
+    def add(self, outcome: TrialOutcome) -> None:
+        self.successes += int(outcome.success)
+        self.degenerate += int(outcome.degenerate)
+        self.laxities.append(outcome.min_laxity)
         if outcome.max_lateness == outcome.max_lateness:  # not NaN
-            latenesses.append(outcome.max_lateness)
-    mean_lax = sum(laxities) / len(laxities) if laxities else float("nan")
-    mean_late = (
-        sum(latenesses) / len(latenesses) if latenesses else float("nan")
-    )
-    return CellResult(
-        estimate=BinomialEstimate(successes, len(seeds)),
-        degenerate=degenerate,
-        mean_min_laxity=mean_lax,
-        mean_max_lateness=mean_late,
-        lateness_trials=len(latenesses),
-    )
+            self.latenesses.append(outcome.max_lateness)
+
+    def result(self, trials: int) -> CellResult:
+        laxities, latenesses = self.laxities, self.latenesses
+        mean_lax = sum(laxities) / len(laxities) if laxities else float("nan")
+        mean_late = (
+            sum(latenesses) / len(latenesses) if latenesses else float("nan")
+        )
+        return CellResult(
+            estimate=BinomialEstimate(self.successes, trials),
+            degenerate=self.degenerate,
+            mean_min_laxity=mean_lax,
+            mean_max_lateness=mean_late,
+            lateness_trials=len(latenesses),
+        )
+
+
+def run_cell(config: TrialConfig, seeds: Sequence[int]) -> CellResult:
+    """Run a block of trials of one cell serially (per-cell worker unit)."""
+    acc = _CellAccumulator()
+    for seed in seeds:
+        acc.add(run_trial(config, seed))
+    return acc.result(len(seeds))
+
+
+def run_paired_cells(
+    cells: Sequence[tuple[int, TrialConfig]], seeds: Sequence[int]
+) -> list[tuple[int, CellResult]]:
+    """Run a block of paired trials covering every series of one sweep point.
+
+    *cells* lists ``(series_index, config)`` for one ``x_index``; for
+    each seed the workload is generated **once** per distinct
+    :class:`~repro.workload.params.WorkloadParams` (normally exactly
+    once — series vary the metric/estimator/bus model, not the
+    generator) and every series is judged on it through a shared
+    :class:`TrialContext`.  Returns one partial :class:`CellResult` per
+    series, aggregated over this seed block.
+    """
+    accs = {si: _CellAccumulator() for si, _ in cells}
+    for seed in seeds:
+        contexts: dict[Any, TrialContext] = {}
+        for si, config in cells:
+            context = contexts.get(config.workload)
+            if context is None:
+                context = TrialContext(
+                    generate_workload(config.workload, make_rng(seed))
+                )
+                contexts[config.workload] = context
+            accs[si].add(run_trial(config, seed, context))
+    return [(si, accs[si].result(len(seeds))) for si, _ in cells]
 
 
 @dataclass
@@ -258,13 +349,22 @@ def run_experiment(
     seed: int = 2026,
     jobs: int | None = None,
     chunk_size: int = 32,
+    engine: str = "paired",
 ) -> ExperimentResult:
     """Run every cell of *spec* with *trials* trials each.
 
     ``jobs`` selects the number of worker processes (default: CPU
     count); ``jobs <= 1`` runs serially in-process, which is also the
-    mode the test suite uses.  Results are invariant to ``jobs`` and
-    ``chunk_size``.
+    mode the test suite uses.  ``engine`` picks the work-unit shape:
+    ``"paired"`` (default) fans out ``(x_index, seed_chunk)`` units that
+    evaluate every series on one generated workload per seed;
+    ``"percell"`` is the historical one-unit-per-(x, series) engine.
+    Results are invariant to ``jobs`` and ``engine`` — cell for cell,
+    bit for bit — because trial seeds depend only on ``(seed, x_index,
+    trial_index)`` and both engines chunk the seed sequence identically.
+    ``chunk_size`` changes only how the partial mean-laxity/lateness
+    sums are grouped before merging, which can shift those two means by
+    floating-point rounding (success counts stay bit-identical).
     """
     if trials < 1:
         raise ExperimentError("trials must be at least 1")
@@ -273,6 +373,14 @@ def run_experiment(
         # ProcessPoolExecutor raise an opaque ValueError later.
         raise ExperimentError(
             f"jobs must be at least 1, got {jobs} (omit it for CPU count)"
+        )
+    if chunk_size < 1:
+        raise ExperimentError(
+            f"chunk_size must be at least 1, got {chunk_size}"
+        )
+    if engine not in ENGINE_NAMES:
+        raise ExperimentError(
+            f"unknown engine {engine!r}; choose from {ENGINE_NAMES}"
         )
     start = time.perf_counter()
     result = ExperimentResult(
@@ -286,34 +394,10 @@ def run_experiment(
         paper_reference=spec.paper_reference,
     )
 
-    # Build the work units: (cell key, config, seed chunk).
-    units: list[tuple[tuple[int, int], TrialConfig, list[int]]] = []
-    for xi, _x, si, _label, config in spec.cells():
-        seeds = _cell_seeds(seed, xi, trials)
-        for lo in range(0, trials, chunk_size):
-            units.append(((xi, si), config, seeds[lo : lo + chunk_size]))
-
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    partials: list[tuple[tuple[int, int], CellResult]] = []
-    if jobs <= 1 or len(units) == 1:
-        for key, config, seeds in units:
-            partials.append((key, run_cell(config, seeds)))
+    if engine == "paired":
+        partials = _run_paired_units(spec, trials, seed, jobs, chunk_size)
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                (key, pool.submit(run_cell, config, seeds))
-                for key, config, seeds in units
-            ]
-            for key, fut in futures:
-                try:
-                    partials.append((key, fut.result()))
-                except ReproError:
-                    raise
-                except Exception as exc:  # surface worker crashes clearly
-                    raise ExperimentError(
-                        f"worker failed on cell {key}: {exc}"
-                    ) from exc
+        partials = _run_percell_units(spec, trials, seed, jobs, chunk_size)
 
     for key, cell in partials:
         if key in result.cells:
@@ -323,3 +407,79 @@ def run_experiment(
 
     result.elapsed_seconds = time.perf_counter() - start
     return result
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    return jobs if jobs is not None else (os.cpu_count() or 1)
+
+
+def _collect(futures):
+    """Drain (key, future) pairs, surfacing worker crashes clearly."""
+    out = []
+    for key, fut in futures:
+        try:
+            out.append((key, fut.result()))
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise ExperimentError(f"worker failed on cell {key}: {exc}") from exc
+    return out
+
+
+def _run_percell_units(
+    spec: ExperimentSpec,
+    trials: int,
+    seed: int,
+    jobs: int | None,
+    chunk_size: int,
+) -> list[tuple[tuple[int, int], CellResult]]:
+    """The historical engine: one work unit per (cell, seed chunk)."""
+    units: list[tuple[tuple[int, int], TrialConfig, list[int]]] = []
+    for xi, _x, si, _label, config in spec.cells():
+        seeds = _cell_seeds(seed, xi, trials)
+        for lo in range(0, trials, chunk_size):
+            units.append(((xi, si), config, seeds[lo : lo + chunk_size]))
+
+    if _resolve_jobs(jobs) <= 1 or len(units) == 1:
+        return [(key, run_cell(config, seeds)) for key, config, seeds in units]
+    with ProcessPoolExecutor(max_workers=_resolve_jobs(jobs)) as pool:
+        return _collect(
+            (key, pool.submit(run_cell, config, seeds))
+            for key, config, seeds in units
+        )
+
+
+def _run_paired_units(
+    spec: ExperimentSpec,
+    trials: int,
+    seed: int,
+    jobs: int | None,
+    chunk_size: int,
+) -> list[tuple[tuple[int, int], CellResult]]:
+    """The paired engine: one work unit per (x_index, seed chunk).
+
+    Each unit returns one partial per series; partials are flattened
+    back to ``((x_index, series_index), CellResult)`` pairs in chunk
+    order per cell — the same merge order as the per-cell engine, so
+    the sequential weighted-mean merges produce identical floats.
+    """
+    units: list[tuple[int, list[tuple[int, TrialConfig]], list[int]]] = []
+    for xi, _x, group in spec.cells_by_x():
+        cells = [(si, config) for si, _label, config in group]
+        seeds = _cell_seeds(seed, xi, trials)
+        for lo in range(0, trials, chunk_size):
+            units.append((xi, cells, seeds[lo : lo + chunk_size]))
+
+    if _resolve_jobs(jobs) <= 1 or len(units) == 1:
+        batches = [
+            (xi, run_paired_cells(cells, seeds)) for xi, cells, seeds in units
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=_resolve_jobs(jobs)) as pool:
+            batches = _collect(
+                (xi, pool.submit(run_paired_cells, cells, seeds))
+                for xi, cells, seeds in units
+            )
+    return [
+        ((xi, si), cell) for xi, partials in batches for si, cell in partials
+    ]

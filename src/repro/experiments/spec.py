@@ -109,3 +109,22 @@ class ExperimentSpec:
             for si, label in enumerate(self.series):
                 out.append((xi, x, si, label, self.config_for(x, label)))
         return out
+
+    def cells_by_x(
+        self,
+    ) -> list[tuple[int, Any, list[tuple[int, str, TrialConfig]]]]:
+        """Enumerate ``(x_index, x, [(series_index, series, config), ...])``.
+
+        The grouping the paired-trial engine fans out over: one work
+        unit covers *every* series of a sweep point, so each random
+        workload is generated once and judged by all series (the paper's
+        paired design over one fixed set of task graphs).
+        """
+        out: list[tuple[int, Any, list[tuple[int, str, TrialConfig]]]] = []
+        for xi, x in enumerate(self.x_values):
+            group = [
+                (si, label, self.config_for(x, label))
+                for si, label in enumerate(self.series)
+            ]
+            out.append((xi, x, group))
+        return out

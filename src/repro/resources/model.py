@@ -109,6 +109,7 @@ class ResourceAwareAdaptL(_EqualShareMetric):
     """
 
     name = "ADAPT-L/R"
+    uses_closure = True
 
     def __init__(self, params: AdaptiveParams | None = None) -> None:
         self.params = params or AdaptiveParams()
@@ -118,10 +119,13 @@ class ResourceAwareAdaptL(_EqualShareMetric):
         graph: TaskGraph,
         estimates: Mapping[str, Time],
         platform: Platform,
+        *,
+        closure: TransitiveClosure | None = None,
     ) -> MetricState:
         if platform.m < 1:
             raise ValidationError("platform must have at least one processor")
-        closure = TransitiveClosure(graph)
+        if closure is None:
+            closure = TransitiveClosure(graph)
         usage = resource_usage(graph)
         c_thres = self.params.threshold(estimates)
         k_l = self.params.k_l

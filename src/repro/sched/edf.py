@@ -23,7 +23,7 @@ evaluation of reference [12]).
 from __future__ import annotations
 
 import heapq
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..core.assignment import DeadlineAssignment
 from ..errors import SchedulingError
@@ -59,8 +59,16 @@ class EdfListScheduler:
         assignment: DeadlineAssignment,
         *,
         comm: CommunicationModel | None = None,
+        predecessors: Mapping[str, Sequence[str]] | None = None,
+        successors: Mapping[str, Sequence[str]] | None = None,
     ) -> Schedule:
-        """Schedule *graph* on *platform* under *assignment* windows."""
+        """Schedule *graph* on *platform* under *assignment* windows.
+
+        ``predecessors``/``successors`` optionally inject the immediate
+        adjacency of *graph* (both must cover every task), so callers
+        that schedule the same graph repeatedly — e.g. the paired-trial
+        experiment engine — derive it once instead of once per schedule.
+        """
         comm_model = comm if comm is not None else platform.comm
         comm_model.reset()
 
@@ -72,9 +80,20 @@ class EdfListScheduler:
 
         proc_free = self._initial_proc_free(platform)
         resource_free: dict[str, Time] = {}
+        # The graph is immutable for the duration of one schedule, so pin
+        # the adjacency once instead of re-deriving it per placement probe.
+        if predecessors is None:
+            predecessors = {
+                tid: graph.predecessors(tid) for tid in graph.task_ids()
+            }
+        if successors is None:
+            successors = {
+                tid: graph.successors(tid) for tid in graph.task_ids()
+            }
         remaining_preds: dict[str, int] = {
-            tid: graph.in_degree(tid) for tid in graph.task_ids()
+            tid: len(preds) for tid, preds in predecessors.items()
         }
+        processors = list(platform.processors())
 
         result = Schedule(scheduler_name=self.name)
 
@@ -94,6 +113,7 @@ class EdfListScheduler:
             placement = self._best_placement(
                 tid, task, graph, platform, result.entries, proc_free,
                 resource_free, comm_model, window.arrival,
+                predecessors=predecessors[tid], processors=processors,
             )
             if placement is None:
                 result.feasible = False
@@ -109,7 +129,8 @@ class EdfListScheduler:
             # data-ready time (and hence start/finish) past the nominal
             # estimate used for processor selection.
             data_ready = self._commit_transfers(
-                tid, graph, platform, result.entries, comm_model, proc_id
+                tid, graph, platform, result.entries, comm_model, proc_id,
+                predecessors=predecessors[tid],
             )
             if data_ready > start:
                 resource_floor = max(
@@ -145,7 +166,7 @@ class EdfListScheduler:
             for res in task.resources:
                 resource_free[res] = finish
 
-            for succ in graph.successors(tid):
+            for succ in successors[tid]:
                 remaining_preds[succ] -= 1
                 if remaining_preds[succ] == 0:
                     heapq.heappush(
@@ -175,6 +196,8 @@ class EdfListScheduler:
         resource_free: Mapping[str, Time],
         comm_model: CommunicationModel,
         arrival: Time,
+        predecessors: Sequence[str] | None = None,
+        processors: Sequence | None = None,
     ) -> tuple[str, Time, Time] | None:
         """Pick the eligible processor with the earliest start time.
 
@@ -182,28 +205,59 @@ class EdfListScheduler:
         stateful contention models (reservations are committed only for
         the chosen processor); ties break on earlier finish, then on
         processor id, keeping the scheduler deterministic.
+        ``predecessors``/``processors`` optionally inject the adjacency
+        and processor list (the main loop pins both once per schedule).
         """
-        resource_floor = max(
-            (resource_free.get(r, 0.0) for r in task.resources), default=0.0
-        )
-        best: tuple[Time, Time, str] | None = None
-        for proc in platform.processors():
-            if not task.is_eligible(proc.cls):
+        if predecessors is None:
+            predecessors = graph.predecessors(tid)
+        if processors is None:
+            processors = list(platform.processors())
+        if task.resources:
+            resource_floor = max(
+                (resource_free.get(r, 0.0) for r in task.resources),
+                default=0.0,
+            )
+        else:
+            resource_floor = 0.0
+        # The placed predecessors, their finish times, and the message
+        # sizes do not depend on the probed processor: resolve them once
+        # instead of once per processor.
+        incoming = []
+        for pred in predecessors:
+            entry = entries.get(pred)
+            if entry is None:
+                # continue_on_miss keeps going after failures; an
+                # unplaced predecessor cannot happen otherwise.
                 continue
-            data_ready = arrival
-            for pred in graph.predecessors(tid):
-                entry = entries.get(pred)
-                if entry is None:
-                    # continue_on_miss keeps going after failures; an
-                    # unplaced predecessor cannot happen otherwise.
-                    continue
-                delay = comm_model.cost(
-                    entry.processor, proc.id, graph.message_size(pred, tid)
+            incoming.append(
+                (entry.processor, entry.finish, graph.message_size(pred, tid))
+            )
+        cost = comm_model.cost
+        wcet = task.wcet
+        best: tuple[Time, Time, str] | None = None
+        for proc in processors:
+            # Ineligible classes are absent from the WCET map, so one
+            # lookup answers eligibility and execution time together.
+            c = wcet.get(proc.cls)
+            if c is None:
+                continue
+            dst = proc.id
+            start = arrival
+            for src, pred_finish, size in incoming:
+                # cost() is 0 for co-located tasks (CommunicationModel
+                # contract), so skip the model call on the same processor.
+                ready = (
+                    pred_finish if src == dst
+                    else pred_finish + cost(src, dst, size)
                 )
-                data_ready = max(data_ready, entry.finish + delay)
-            start = max(data_ready, proc_free[proc.id], resource_floor)
-            finish = start + task.wcet_on(proc.cls)
-            key = (start, finish, proc.id)
+                if ready > start:
+                    start = ready
+            free = proc_free[dst]
+            if free > start:
+                start = free
+            if resource_floor > start:
+                start = resource_floor
+            key = (start, start + c, dst)
             if best is None or key < best:
                 best = key
         if best is None:
@@ -219,10 +273,13 @@ class EdfListScheduler:
         entries: Mapping[str, ScheduledTask],
         comm_model: CommunicationModel,
         proc_id: str,
+        predecessors: Sequence[str] | None = None,
     ) -> Time:
         """Reserve bus time for the chosen placement; return data-ready time."""
+        if predecessors is None:
+            predecessors = graph.predecessors(tid)
         data_ready = 0.0
-        for pred in graph.predecessors(tid):
+        for pred in predecessors:
             entry = entries.get(pred)
             if entry is None:
                 continue

@@ -51,7 +51,16 @@ class _KeyedListScheduler(EdfListScheduler):
         """Smaller value == higher priority; must cover every task."""
         raise NotImplementedError
 
-    def schedule(self, graph, platform, assignment, *, comm=None):
+    def schedule(
+        self,
+        graph,
+        platform,
+        assignment,
+        *,
+        comm=None,
+        predecessors=None,
+        successors=None,
+    ):
         keys = self.priorities(graph, assignment)
         missing = [t for t in graph.task_ids() if t not in keys]
         if missing:
@@ -64,7 +73,14 @@ class _KeyedListScheduler(EdfListScheduler):
         # proxy substitutes the priority key for the heap ordering while
         # delegating windows to the real assignment.
         proxy = _PriorityProxy(assignment, dict(keys))
-        return super().schedule(graph, platform, proxy, comm=comm)
+        return super().schedule(
+            graph,
+            platform,
+            proxy,
+            comm=comm,
+            predecessors=predecessors,
+            successors=successors,
+        )
 
 
 class _PriorityProxy:
@@ -137,17 +153,36 @@ SCHEDULER_NAMES: tuple[str, ...] = (
 )
 
 
+_SCHEDULER_CLASSES: dict[str, type[EdfListScheduler]] = {
+    "EDF-LIST": EdfListScheduler,
+    "EDF": EdfListScheduler,
+    "SL-LIST": StaticLevelScheduler,
+    "SL": StaticLevelScheduler,
+    "HLFET": StaticLevelScheduler,
+    "FIFO-LIST": FifoScheduler,
+    "FIFO": FifoScheduler,
+    "LLF-LIST": LaxityScheduler,
+    "LLF": LaxityScheduler,
+}
+
+#: Shared instances keyed by (class, continue_on_miss).  The list
+#: schedulers hold no per-run state (``schedule`` builds everything it
+#: mutates locally), so the experiment engines can call
+#: :func:`get_scheduler` once per trial per series without paying a
+#: construction each time.
+_SCHEDULER_CACHE: dict[tuple[type, bool], EdfListScheduler] = {}
+
+
 def get_scheduler(name: str, *, continue_on_miss: bool = False):
-    """Resolve a list scheduler by registry name."""
-    key = name.upper()
-    if key in ("EDF-LIST", "EDF"):
-        return EdfListScheduler(continue_on_miss=continue_on_miss)
-    if key in ("SL-LIST", "SL", "HLFET"):
-        return StaticLevelScheduler(continue_on_miss=continue_on_miss)
-    if key in ("FIFO-LIST", "FIFO"):
-        return FifoScheduler(continue_on_miss=continue_on_miss)
-    if key in ("LLF-LIST", "LLF"):
-        return LaxityScheduler(continue_on_miss=continue_on_miss)
-    raise SchedulingError(
-        f"unknown scheduler {name!r}; choose from {SCHEDULER_NAMES}"
-    )
+    """Resolve a list scheduler by registry name (shared instances)."""
+    cls = _SCHEDULER_CLASSES.get(name.upper())
+    if cls is None:
+        raise SchedulingError(
+            f"unknown scheduler {name!r}; choose from {SCHEDULER_NAMES}"
+        )
+    key = (cls, continue_on_miss)
+    scheduler = _SCHEDULER_CACHE.get(key)
+    if scheduler is None:
+        scheduler = cls(continue_on_miss=continue_on_miss)
+        _SCHEDULER_CACHE[key] = scheduler
+    return scheduler

@@ -54,8 +54,13 @@ class Counter:
         self._children: dict[tuple[tuple[str, str], ...], float] = {}
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
-        if amount < 0.0:
-            raise ValueError("counters can only increase")
+        # NaN/inf must be rejected too: one poisoned add would corrupt
+        # the cumulative series for the rest of the process lifetime.
+        if not math.isfinite(amount) or amount < 0.0:
+            raise ValueError(
+                f"counters can only increase by finite non-negative "
+                f"amounts, got {amount!r}"
+            )
         key = tuple(sorted((k, str(v)) for k, v in labels.items()))
         with self._lock:
             self._children[key] = self._children.get(key, 0.0) + amount
@@ -112,10 +117,15 @@ class LatencySummary:
 
     def quantile(self, q: float) -> float:
         """Window quantile by linear interpolation; NaN when empty."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q:g}")
         with self._lock:
             data = sorted(self._recent)
+        return self._quantile_of(data, q)
+
+    @staticmethod
+    def _quantile_of(data: list[float], q: float) -> float:
+        """Quantile of an already-sorted snapshot; NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q:g}")
         if not data:
             return float("nan")
         pos = q * (len(data) - 1)
@@ -127,6 +137,12 @@ class LatencySummary:
         return data[lo] * (1.0 - frac) + data[hi] * frac
 
     def render(self, quantiles: Iterable[float] = _QUANTILES) -> list[str]:
+        # One snapshot under one lock acquisition: quantiles, count, and
+        # sum must describe the same instant, or a scrape racing with
+        # observe() reports quantiles and totals from different windows.
+        with self._lock:
+            data = sorted(self._recent)
+            count, total = self._count, self._sum
         lines = [
             f"# HELP {self.name} {self.help_text}",
             f"# TYPE {self.name} summary",
@@ -134,10 +150,8 @@ class LatencySummary:
         for q in quantiles:
             lines.append(
                 f'{self.name}{{quantile="{q:g}"}} '
-                f"{_format_value(self.quantile(q))}"
+                f"{_format_value(self._quantile_of(data, q))}"
             )
-        with self._lock:
-            count, total = self._count, self._sum
         lines.append(f"{self.name}_count {count}")
         lines.append(f"{self.name}_sum {_format_value(total)}")
         return lines

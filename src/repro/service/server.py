@@ -89,21 +89,34 @@ class DeadlineAssignmentService:
 
     # ------------------------------------------------------------------
     def assign(self, request: AssignRequest) -> AssignResponse:
-        """Serve one request: cache lookup, else batched computation."""
+        """Serve one request: cache lookup, else batched computation.
+
+        Latency is observed on *every* path, including failures, and a
+        failed computation still lands an ``assignments`` bump (as
+        ``source="failed"``) so ``repro_assignments_total`` always equals
+        ``cache_hits + cache_misses`` — the invariant dashboards divide
+        by.
+        """
         start = time.perf_counter()
-        digest = request_digest(request)
-        assignment = self.cache.get(digest)
-        cached = assignment is not None
-        if cached:
-            self.metrics.cache_hits.inc()
-            self.metrics.assignments.inc(source="cache")
-        else:
-            self.metrics.cache_misses.inc()
-            assignment = self.batcher.submit(request).result()
-            self.cache.put(digest, assignment)
-            self.metrics.assignments.inc(source="computed")
-        admission = self._admit(request) if request.admit else None
-        self.metrics.assign_latency.observe(time.perf_counter() - start)
+        try:
+            digest = request_digest(request)
+            assignment = self.cache.get(digest)
+            cached = assignment is not None
+            if cached:
+                self.metrics.cache_hits.inc()
+                self.metrics.assignments.inc(source="cache")
+            else:
+                self.metrics.cache_misses.inc()
+                try:
+                    assignment = self.batcher.submit(request).result()
+                except BaseException:
+                    self.metrics.assignments.inc(source="failed")
+                    raise
+                self.cache.put(digest, assignment)
+                self.metrics.assignments.inc(source="computed")
+            admission = self._admit(request) if request.admit else None
+        finally:
+            self.metrics.assign_latency.observe(time.perf_counter() - start)
         return response_from_assignment(
             assignment, digest, cached=cached, admission=admission
         )
@@ -269,10 +282,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def _send_json(
         self, status: int, doc: dict[str, Any], *, endpoint: str
     ) -> None:
+        # Serialize before touching the wire or the request counter: a
+        # non-finite float in *doc* must degrade to a 500 JSON reply (and
+        # be counted as such), not kill the connection after metrics
+        # already claimed a success.
+        try:
+            body = json.dumps(doc, allow_nan=False).encode()
+        except ValueError:
+            status = 500
+            self.server.service.metrics.errors.inc(kind="non_finite_json")
+            body = json.dumps(
+                {"error": "internal error: response contained non-finite numbers"}
+            ).encode()
         self.server.service.metrics.requests.inc(
             endpoint=endpoint, status=str(status)
         )
-        body = json.dumps(doc, allow_nan=False).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

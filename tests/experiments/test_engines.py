@@ -1,0 +1,93 @@
+"""Equivalence tests between the paired and per-cell experiment engines.
+
+The paired engine restructures the work units (one generated workload
+per seed, judged by every series) but must not change a single bit of
+any cell: trial seeds depend only on ``(root_seed, x_index,
+trial_index)``, and everything a :class:`TrialContext` shares is a pure
+function of the workload.  These tests pin that contract end to end by
+comparing full serialized results across engines, job counts, and chunk
+sizes.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentSpec, TrialConfig, run_experiment
+from repro.experiments.runner import ENGINE_NAMES
+from repro.workload import WorkloadParams
+
+FAST = WorkloadParams(m=3, n_tasks_range=(12, 16), depth_range=(4, 6))
+
+
+def small_spec():
+    def config(x, metric):
+        return TrialConfig(
+            workload=FAST.with_overrides(m=int(x)), metric=metric
+        )
+
+    return ExperimentSpec(
+        name="engine-equivalence",
+        title="engine equivalence",
+        x_label="m",
+        x_values=(2, 3),
+        series=("PURE", "NORM", "ADAPT-L"),
+        config_for=config,
+    )
+
+
+def result_doc(engine, *, jobs=1, chunk_size=8, trials=12):
+    doc = run_experiment(
+        small_spec(), trials=trials, seed=99, jobs=jobs,
+        chunk_size=chunk_size, engine=engine,
+    ).to_dict()
+    # Wall-clock is the one legitimately engine-dependent field.
+    doc.pop("elapsed_seconds", None)
+    return doc
+
+
+class TestEngineEquivalence:
+    def test_serial_engines_bit_identical(self):
+        assert result_doc("percell") == result_doc("paired")
+
+    def test_parallel_paired_matches_serial_percell(self):
+        assert result_doc("percell") == result_doc("paired", jobs=2)
+
+    def test_chunking_preserves_counts_exactly_and_means_closely(self):
+        """chunk_size regroups partial sums: counts must stay exact.
+
+        The mean-laxity/lateness merge is a weighted average of partial
+        means, so regrouping may move those by floating-point rounding —
+        everything counted (successes, trials, degenerates) is exact.
+        """
+        baseline = run_experiment(
+            small_spec(), trials=12, seed=99, jobs=1, chunk_size=12
+        )
+        for chunk_size in (1, 5):
+            other = run_experiment(
+                small_spec(), trials=12, seed=99, jobs=1,
+                chunk_size=chunk_size,
+            )
+            for key, cell in baseline.cells.items():
+                o = other.cells[key]
+                assert o.estimate == cell.estimate
+                assert o.degenerate == cell.degenerate
+                assert o.lateness_trials == cell.lateness_trials
+                assert o.mean_min_laxity == pytest.approx(
+                    cell.mean_min_laxity, rel=1e-9, nan_ok=True
+                )
+                assert o.mean_max_lateness == pytest.approx(
+                    cell.mean_max_lateness, rel=1e-9, nan_ok=True
+                )
+
+
+class TestEngineSelection:
+    def test_engine_names_registry(self):
+        assert set(ENGINE_NAMES) == {"paired", "percell"}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown engine"):
+            run_experiment(small_spec(), trials=1, jobs=1, engine="turbo")
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ExperimentError, match="chunk_size"):
+            run_experiment(small_spec(), trials=1, jobs=1, chunk_size=0)

@@ -77,7 +77,11 @@ def task_graphs(
 def dag_with_deadline(draw, looseness_min: float = 0.3) -> TaskGraph:
     """A random DAG with a uniform E-T-E deadline attached."""
     graph = draw(task_graphs())
-    total = sum(t.mean_wcet() for t in graph.tasks())
+    # Budget the looseness against the volume the slicer will actually
+    # estimate: on the identical platforms these tests use, WCET-AVG
+    # reduces to the "default"-class WCET, which can exceed mean_wcet()
+    # when a task carries a cheap extra class.
+    total = sum(t.wcet["default"] for t in graph.tasks())
     factor = draw(
         st.floats(looseness_min, 3.0, allow_nan=False, allow_infinity=False)
     )
