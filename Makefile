@@ -4,7 +4,7 @@ PYTHON ?= python
 TRIALS ?= 1024
 JOBS ?=
 
-.PHONY: install test bench bench-runner figures lint-clean examples serve-smoke all
+.PHONY: install test bench bench-runner bench-service figures lint lint-clean examples serve-smoke all
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,14 @@ bench:
 
 bench-runner:
 	PYTHONPATH=src $(PYTHON) scripts/bench_runner.py
+
+bench-service:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_service.py --benchmark-only -q
+
+# Static checks (pyflakes + bugbear/async classes) on the modules where
+# concurrency bugs live: the service, the admission path, the CLI.
+lint:
+	ruff check src/repro/service src/repro/online src/repro/cli src/repro/errors.py
 
 figures:
 	$(PYTHON) -m repro --all --trials $(TRIALS) --out results/ $(if $(JOBS),--jobs $(JOBS))

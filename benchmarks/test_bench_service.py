@@ -13,7 +13,9 @@ Marked ``service`` so tier-1 and quick bench runs can exclude it with
 Environment knobs:
 
 * ``REPRO_BENCH_SERVICE_REQUESTS`` — requests per phase (default 96);
-* ``REPRO_BENCH_SERVICE_CLIENTS``  — concurrent client threads (default 8).
+* ``REPRO_BENCH_SERVICE_CLIENTS``  — concurrent client threads (default 8);
+* ``REPRO_BENCH_SERVICE_OUT``      — where the duplicate-heavy scenario
+  writes its numbers (default: repo-root ``BENCH_service.json``).
 """
 
 from __future__ import annotations
@@ -21,12 +23,15 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import platform as platform_mod
+import random
 import socket
 import statistics
 import threading
 import time
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import pytest
 
@@ -167,6 +172,69 @@ def test_sustained_throughput_and_cache_speedup(benchmark, live_server):
     assert warm.median_latency < cold.median_latency
     # Latency summary must be populated for the scrape endpoint.
     assert service.metrics.assign_latency.count == 2 * len(bodies)
+
+
+def _bench_out_path() -> Path:
+    default = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    return Path(os.environ.get("REPRO_BENCH_SERVICE_OUT", default))
+
+
+def test_duplicate_heavy_single_flight(benchmark, live_server):
+    """Duplicate-heavy stream: few distinct workloads, many requests.
+
+    The load a cache-fronted service actually sees from "millions of
+    users" is duplicate-dominated.  Single-flight + cache must keep the
+    computation count near the number of DISTINCT workloads no matter
+    how many concurrent clients replay them; the measured numbers land
+    in ``BENCH_service.json`` so the trajectory is tracked across PRs.
+    """
+    base, service = live_server
+    total = _n_requests()
+    clients = _n_clients()
+    distinct = max(4, total // 16)
+    bodies = (_request_bodies(distinct) * (total // distinct + 1))[:total]
+    random.Random(2026).shuffle(bodies)
+
+    result = benchmark.pedantic(
+        _drive, args=(base, bodies, clients), rounds=1, iterations=1
+    )
+
+    computed = service.metrics.assignments.value(source="computed")
+    coalesced = service.metrics.assignments.value(source="coalesced")
+    hits = service.metrics.cache_hits.total()
+    waits = service.metrics.singleflight_waits.total()
+    # Every distinct workload computes at least once; concurrency must
+    # not blow that up — anything beyond distinct+clients would mean
+    # duplicate in-flight misses are recomputing instead of coalescing.
+    assert computed >= distinct
+    assert computed <= distinct + clients
+    assert computed + coalesced + hits == total
+
+    rps = total / result.elapsed
+    print(
+        f"\nduplicate-heavy: {total} requests ({distinct} distinct) x "
+        f"{clients} clients | {rps:,.0f} req/s | "
+        f"p50 {result.median_latency * 1e3:.2f} ms | "
+        f"computed {computed:.0f} | coalesced {coalesced:.0f} | "
+        f"cache hits {hits:.0f} | single-flight waits {waits:.0f}"
+    )
+
+    doc = {
+        "format": "repro.bench-service/1",
+        "scenario": "duplicate_heavy",
+        "requests": total,
+        "distinct_workloads": distinct,
+        "clients": clients,
+        "requests_per_second": round(rps, 2),
+        "p50_latency_ms": round(result.median_latency * 1e3, 4),
+        "computed": int(computed),
+        "coalesced": int(coalesced),
+        "cache_hits": int(hits),
+        "singleflight_waits": int(waits),
+        "python": platform_mod.python_version(),
+        "machine": platform_mod.machine(),
+    }
+    _bench_out_path().write_text(json.dumps(doc, indent=2) + "\n")
 
 
 def test_metrics_scrape_under_load(live_server):

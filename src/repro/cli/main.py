@@ -171,6 +171,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=4,
         help="worker threads executing batches (default 4)",
     )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        help="bound on in-flight computations before requests are shed "
+        "with 429 (0 = unbounded, the default)",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=int,
+        default=1,
+        help="Retry-After seconds advertised on 429 responses (default 1)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds to wait for in-flight requests on shutdown before "
+        "failing them (default 5.0)",
+    )
     return parser
 
 
@@ -185,12 +205,15 @@ def serve_main(argv: list[str] | None = None) -> int:
             batch_size=args.batch_size,
             batch_wait=args.batch_wait,
             workers=args.workers,
+            max_queue=args.max_queue if args.max_queue > 0 else None,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        server = create_server(args.host, args.port, service)
+        server = create_server(
+            args.host, args.port, service, retry_after=args.retry_after
+        )
     except OSError as exc:
         print(
             f"error: cannot bind {args.host}:{args.port}: {exc}",
@@ -209,7 +232,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         pass
     finally:
         server.server_close()
-        service.close()
+        service.close(timeout=args.drain_timeout)
     return 0
 
 

@@ -21,6 +21,7 @@ __all__ = [
     "WorkloadError",
     "ExperimentError",
     "SerializationError",
+    "ServiceOverloadError",
 ]
 
 
@@ -79,3 +80,14 @@ class ExperimentError(ReproError):
 
 class SerializationError(ReproError):
     """(De)serialization of a model object failed."""
+
+
+class ServiceOverloadError(ReproError):
+    """The service's bounded work queue rejected a submission.
+
+    Raised by :class:`repro.service.MicroBatcher` when its in-flight
+    item budget (``max_queue``) is exhausted, and surfaced by the HTTP
+    layer as ``429 Too Many Requests`` with a ``Retry-After`` header —
+    the backpressure contract: shed load at the door instead of
+    building an unbounded backlog.
+    """

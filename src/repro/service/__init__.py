@@ -10,8 +10,11 @@ Composition of one request:
 
 ``request_from_dict`` (strict validation) → ``request_digest``
 (canonical SHA-256 content address) → :class:`AssignmentCache` (LRU;
-repeated workloads skip the slicing hot path) → :class:`MicroBatcher`
-(concurrent misses coalesce into worker-pool batches) →
+repeated workloads skip the slicing hot path) → single-flight
+coalescing (concurrent identical misses share one computation) →
+:class:`MicroBatcher` (distinct misses coalesce into worker-pool
+batches, bounded by ``max_queue`` — overflow is shed as
+:class:`~repro.errors.ServiceOverloadError` / HTTP 429) →
 ``response_to_dict``.  :class:`ServiceMetrics` counts every step and
 renders Prometheus text for ``GET /metrics``.
 
@@ -28,6 +31,7 @@ from .api import (
     response_from_assignment,
     response_to_dict,
 )
+from ..errors import ServiceOverloadError
 from .batch import MicroBatcher
 from .cache import AssignmentCache, CacheStats
 from .metrics import Counter, LatencySummary, ServiceMetrics, render_prometheus
@@ -44,6 +48,7 @@ __all__ = [
     "AssignmentCache",
     "CacheStats",
     "MicroBatcher",
+    "ServiceOverloadError",
     "Counter",
     "LatencySummary",
     "ServiceMetrics",

@@ -13,7 +13,10 @@ a 400 with a precise message.
 
 The request's :func:`request_digest` is a SHA-256 over the canonical
 JSON of ``(graph, platform, metric, estimator, params)`` — the exact
-inputs that determine the assignment — and is the service cache key.
+inputs that determine the assignment — and is both the service's cache
+key and its single-flight coalescing key: determinism in these inputs
+is what makes sharing one computation across concurrent identical
+requests sound.
 """
 
 from __future__ import annotations

@@ -189,6 +189,15 @@ class ServiceMetrics:
             "repro_request_errors_total",
             "Requests rejected or failed, by kind.",
         )
+        self.singleflight_waits = Counter(
+            "repro_singleflight_waits_total",
+            "Requests that coalesced onto an identical in-flight "
+            "computation instead of recomputing.",
+        )
+        self.overloads = Counter(
+            "repro_overload_rejections_total",
+            "Requests shed with 429 because the work queue was full.",
+        )
         self.assign_latency = LatencySummary(
             "repro_assign_latency_seconds",
             "End-to-end POST /assign service latency.",
@@ -216,6 +225,8 @@ class ServiceMetrics:
             self.batches,
             self.batched_items,
             self.errors,
+            self.singleflight_waits,
+            self.overloads,
         ):
             lines.extend(counter.render())
         lines.extend(

@@ -1,0 +1,388 @@
+"""Concurrency-layer tests: single-flight, sharded admission, backpressure.
+
+These pin the service's parallel-load contracts:
+
+* N concurrent identical misses run exactly ONE computation (the
+  others coalesce onto the in-flight future);
+* admissions serialize per platform digest only — a stalled controller
+  never blocks another platform's admissions;
+* generated admission app-ids never collide with caller-supplied ones,
+  and the sequence advances only when the service generates;
+* a full bounded queue sheds requests as HTTP 429 + ``Retry-After``;
+* an HTTP/1.1 404 on a keep-alive connection drains the request body,
+  so the next pipelined request still parses (desync regression).
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceOverloadError
+from repro.service import DeadlineAssignmentService, create_server
+from repro.system import identical_platform
+
+from .conftest import chain_request
+
+
+class GatedService(DeadlineAssignmentService):
+    """Service whose computation counts calls and blocks on a gate."""
+
+    def __init__(self, **kwargs) -> None:
+        self.compute_calls: list = []
+        self.compute_started = threading.Event()
+        self.gate = threading.Event()
+        super().__init__(**kwargs)
+
+    def _compute(self, request):
+        self.compute_calls.append(request)
+        self.compute_started.set()
+        assert self.gate.wait(10), "test gate was never opened"
+        return super()._compute(request)
+
+
+def _wait_until(predicate, timeout=5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
+
+
+class TestSingleFlight:
+    def test_n_identical_requests_one_computation(self):
+        svc = GatedService(batch_wait=0.0, workers=4)
+        try:
+            results, errors = [], []
+
+            def worker():
+                try:
+                    results.append(svc.assign_dict(chain_request()))
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for t in threads:
+                t.start()
+            # All six are in: one leader computing (parked at the gate),
+            # five followers waiting on its in-flight future.
+            assert _wait_until(
+                lambda: svc.metrics.singleflight_waits.total() == 5
+            ), "followers never coalesced onto the leader"
+            svc.gate.set()
+            for t in threads:
+                t.join(timeout=10)
+            assert not errors
+            assert len(results) == 6
+            assert len(svc.compute_calls) == 1  # the whole point
+            assert {
+                json.dumps(r["slices"], sort_keys=True) for r in results
+            } == {json.dumps(results[0]["slices"], sort_keys=True)}
+            assert svc.metrics.assignments.value(source="computed") == 1.0
+            assert svc.metrics.assignments.value(source="coalesced") == 5.0
+            assert svc.metrics.cache_misses.total() == 6.0
+        finally:
+            svc.gate.set()
+            svc.close()
+
+    def test_leader_failure_propagates_to_followers(self):
+        svc = GatedService(batch_wait=0.0, workers=2)
+
+        def boom(request):
+            svc.compute_started.set()
+            assert svc.gate.wait(10)
+            raise RuntimeError("computation exploded")
+
+        svc.batcher._handler = boom  # fail inside the worker itself
+        try:
+            errors = []
+
+            def worker():
+                try:
+                    svc.assign_dict(chain_request())
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker) for _ in range(3)]
+            for t in threads:
+                t.start()
+            assert _wait_until(
+                lambda: svc.metrics.singleflight_waits.total() == 2
+            )
+            svc.gate.set()
+            for t in threads:
+                t.join(timeout=10)
+            assert len(errors) == 3
+            assert all("computation exploded" in str(e) for e in errors)
+            assert svc.metrics.assignments.value(source="failed") == 3.0
+            # Failures are not cached: the digest stays recomputable.
+            assert len(svc.cache) == 0
+        finally:
+            svc.gate.set()
+            svc.close()
+
+
+class TestShardedAdmission:
+    def test_platforms_admit_concurrently(self):
+        svc = DeadlineAssignmentService(batch_wait=0.0)
+        try:
+            # First admissions create the two controllers.
+            svc.assign_dict(
+                chain_request(m=2, admit=True, relative_deadline=500.0)
+            )
+            svc.assign_dict(
+                chain_request(m=3, admit=True, relative_deadline=500.0)
+            )
+            controller_a = svc.admission_controller(identical_platform(2))
+            assert controller_a is not None
+            blocked = threading.Event()
+            release = threading.Event()
+            original_submit = controller_a.submit
+
+            def slow_submit(*args, **kwargs):
+                blocked.set()
+                assert release.wait(10)
+                return original_submit(*args, **kwargs)
+
+            controller_a.submit = slow_submit
+
+            thread_a = threading.Thread(
+                target=svc.assign_dict,
+                args=(
+                    chain_request(
+                        m=2, admit=True, relative_deadline=500.0
+                    ),
+                ),
+            )
+            thread_a.start()
+            assert blocked.wait(5)
+            # Platform A's shard lock is held mid-admission.  Platform B
+            # must still admit — with the old global lock this blocked.
+            done_b = threading.Event()
+
+            def admit_b():
+                svc.assign_dict(
+                    chain_request(m=3, admit=True, relative_deadline=500.0)
+                )
+                done_b.set()
+
+            thread_b = threading.Thread(target=admit_b, daemon=True)
+            thread_b.start()
+            assert done_b.wait(5), (
+                "platform-B admission queued behind platform A's lock"
+            )
+            release.set()
+            thread_a.join(timeout=10)
+            thread_b.join(timeout=10)
+        finally:
+            release.set()
+            svc.close()
+
+    def test_same_platform_admissions_stay_serialized(self):
+        svc = DeadlineAssignmentService(batch_wait=0.0)
+        try:
+            docs = []
+
+            def admit():
+                docs.append(
+                    svc.assign_dict(
+                        chain_request(admit=True, relative_deadline=500.0)
+                    )
+                )
+
+            threads = [threading.Thread(target=admit) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert len(docs) == 4
+            ids = [d["admission"]["app_id"] for d in docs]
+            assert len(set(ids)) == 4  # no duplicate ids under races
+        finally:
+            svc.close()
+
+
+class TestAppIdGeneration:
+    def test_generated_ids_skip_caller_supplied_names(self):
+        with DeadlineAssignmentService(batch_wait=0.0) as svc:
+            doc1 = svc.assign_dict(
+                chain_request(
+                    admit=True, relative_deadline=500.0, app_id="app-1"
+                )
+            )
+            assert doc1["admission"]["admitted"] is True
+            # Auto-generation must not reuse the committed "app-1".
+            doc2 = svc.assign_dict(
+                chain_request(admit=True, relative_deadline=500.0)
+            )
+            assert doc2["admission"]["admitted"] is True
+            assert doc2["admission"]["app_id"] == "app-2"
+
+    def test_sequence_only_advances_when_generating(self):
+        with DeadlineAssignmentService(batch_wait=0.0) as svc:
+            svc.assign_dict(
+                chain_request(
+                    admit=True, relative_deadline=500.0, app_id="zebra"
+                )
+            )
+            doc = svc.assign_dict(
+                chain_request(admit=True, relative_deadline=500.0)
+            )
+            # The caller-supplied "zebra" consumed no sequence number.
+            assert doc["admission"]["app_id"] == "app-1"
+
+
+class TestBackpressureHTTP:
+    @pytest.fixture
+    def gated_server(self):
+        service = GatedService(
+            batch_wait=0.0, workers=1, batch_size=1, max_queue=1
+        )
+        server = create_server(port=0, service=service, retry_after=7)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"{host}:{port}", service
+        service.gate.set()
+        server.shutdown()
+        server.server_close()
+        service.close(timeout=5)
+        thread.join(timeout=5)
+
+    def test_overflow_is_429_with_retry_after(self, gated_server):
+        addr, service = gated_server
+        host, port = addr.rsplit(":", 1)
+
+        def post(doc):
+            conn = http.client.HTTPConnection(host, int(port), timeout=30)
+            try:
+                conn.request(
+                    "POST", "/assign", body=json.dumps(doc).encode()
+                )
+                response = conn.getresponse()
+                return response, json.loads(response.read())
+            finally:
+                conn.close()
+
+        slow_result = {}
+
+        def slow_post():
+            response, body = post(chain_request())
+            slow_result["status"] = response.status
+
+        slow = threading.Thread(target=slow_post)
+        slow.start()
+        assert service.compute_started.wait(5)
+        # The single worker is parked and the queue bound is reached: a
+        # DISTINCT workload must be shed, not queued.
+        response, body = post(chain_request(deadline=123.0))
+        assert response.status == 429
+        assert response.getheader("Retry-After") == "7"
+        assert body["kind"] == "ServiceOverloadError"
+
+        service.gate.set()
+        slow.join(timeout=10)
+        assert slow_result["status"] == 200
+
+        metrics = self._scrape(host, int(port))
+        assert "repro_overload_rejections_total 1" in metrics
+        assert (
+            'repro_request_errors_total{kind="ServiceOverloadError"} 1'
+            in metrics
+        )
+        assert (
+            'repro_requests_total{endpoint="assign",status="429"} 1'
+            in metrics
+        )
+
+    @staticmethod
+    def _scrape(host: str, port: int) -> str:
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", "/metrics")
+            return conn.getresponse().read().decode()
+        finally:
+            conn.close()
+
+    def test_engine_raises_typed_overload(self):
+        svc = GatedService(
+            batch_wait=0.0, workers=1, batch_size=1, max_queue=1
+        )
+        try:
+            leader_error = []
+
+            def leader():
+                try:
+                    svc.assign_dict(chain_request())
+                except Exception as exc:  # pragma: no cover
+                    leader_error.append(exc)
+
+            thread = threading.Thread(target=leader)
+            thread.start()
+            assert svc.compute_started.wait(5)
+            with pytest.raises(ServiceOverloadError):
+                svc.assign_dict(chain_request(deadline=321.0))
+            svc.gate.set()
+            thread.join(timeout=10)
+            assert not leader_error
+        finally:
+            svc.gate.set()
+            svc.close()
+
+
+class TestKeepAlive:
+    @pytest.fixture
+    def live_server(self):
+        server = create_server(port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield host, port
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        thread.join(timeout=5)
+
+    def test_404_with_body_does_not_desync_next_request(self, live_server):
+        """Two requests, one connection: 404-with-body, then /assign.
+
+        Regression: the 404 path replied without consuming the request
+        body, so the unread bytes were parsed as the *next* request's
+        start-line and the connection desynced.
+        """
+        host, port = live_server
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            bogus = json.dumps({"leftover": "bytes" * 100}).encode()
+            conn.request("POST", "/not-a-route", body=bogus)
+            response = conn.getresponse()
+            assert response.status == 404
+            response.read()  # finish the exchange, keep the connection
+
+            conn.request(
+                "POST",
+                "/assign",
+                body=json.dumps(chain_request()).encode(),
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            doc = json.loads(response.read())
+            assert doc["format"] == "repro.assign-response/1"
+        finally:
+            conn.close()
+
+    def test_pipelined_get_after_bad_post(self, live_server):
+        host, port = live_server
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("POST", "/nope", body=b'{"x": 1}')
+            assert conn.getresponse().read() is not None
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read()) == {"status": "ok"}
+        finally:
+            conn.close()
