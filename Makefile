@@ -4,7 +4,7 @@ PYTHON ?= python
 TRIALS ?= 1024
 JOBS ?=
 
-.PHONY: install test bench bench-runner bench-service figures lint lint-clean examples serve-smoke all
+.PHONY: install test bench bench-runner bench-cache bench-service cache-smoke figures lint lint-clean examples serve-smoke all
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -18,13 +18,25 @@ bench:
 bench-runner:
 	PYTHONPATH=src $(PYTHON) scripts/bench_runner.py
 
+# Cold/warm/delta timings of the content-addressed trial store; writes
+# BENCH_cache.json and fails if warm is not >= 5x faster than cold or
+# cached results are not bit-identical to uncached ones.
+bench-cache:
+	PYTHONPATH=src $(PYTHON) scripts/bench_cache.py
+
+# Tiny sweep twice through the CLI --cache path; the second run must be
+# served 100% from the store with a byte-identical report.
+cache-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/cache_smoke.py
+
 bench-service:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_service.py --benchmark-only -q
 
 # Static checks (pyflakes + bugbear/async classes) on the modules where
-# concurrency bugs live: the service, the admission path, the CLI.
+# concurrency bugs live: the service, the admission path, the store,
+# the CLI.
 lint:
-	ruff check src/repro/service src/repro/online src/repro/cli src/repro/errors.py
+	ruff check src/repro/service src/repro/online src/repro/store src/repro/cli src/repro/errors.py
 
 figures:
 	$(PYTHON) -m repro --all --trials $(TRIALS) --out results/ $(if $(JOBS),--jobs $(JOBS))

@@ -6,7 +6,11 @@ curve per metric) through both ``run_experiment`` engines with
 ``jobs=1`` — serial execution isolates the amortization win from
 process-pool effects — asserts the results are bit-identical, and
 records the speedup to ``BENCH_runner.json`` so the perf trajectory of
-the Monte Carlo hot path is tracked across PRs.
+the Monte Carlo hot path is tracked across PRs.  The paired engine is
+then timed with ``jobs=1`` vs ``jobs=4`` at a larger trial count
+(``--mp-trials``; the pool's startup cost needs real work to amortize
+against) — still bit-identical, the scheduling invariance the engines
+promise — and the multiprocess speedup is recorded alongside.
 
 Usage::
 
@@ -18,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform as platform_mod
 import sys
 import time
@@ -46,7 +51,12 @@ def build_spec() -> ExperimentSpec:
 
 
 def time_engine(
-    spec: ExperimentSpec, engine: str, trials: int, seed: int, repeats: int
+    spec: ExperimentSpec,
+    engine: str,
+    trials: int,
+    seed: int,
+    repeats: int,
+    jobs: int = 1,
 ) -> tuple[float, dict]:
     """Best-of-*repeats* wall-clock for one engine, plus its result doc."""
     best = float("inf")
@@ -54,7 +64,7 @@ def time_engine(
     for _ in range(repeats):
         start = time.perf_counter()
         result = run_experiment(
-            spec, trials=trials, seed=seed, jobs=1, engine=engine
+            spec, trials=trials, seed=seed, jobs=jobs, engine=engine
         )
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
@@ -67,6 +77,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--trials", type=int, default=96, help="trials per cell (default 96)"
+    )
+    parser.add_argument(
+        "--mp-trials",
+        type=int,
+        default=384,
+        help="trials per cell for the jobs=1 vs jobs=4 comparison "
+        "(default 384; large enough to amortize pool startup)",
     )
     parser.add_argument(
         "--repeats",
@@ -98,11 +115,42 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"paired engine:  {paired_s:.3f} s")
 
-    if percell_doc != paired_doc:
+    print(
+        f"multiprocess leg: paired engine, {args.mp_trials} trials/cell, "
+        "jobs=1 vs jobs=4"
+    )
+    mp1_s, mp1_doc = time_engine(
+        spec, "paired", args.mp_trials, args.seed, args.repeats, jobs=1
+    )
+    print(f"paired, jobs=1: {mp1_s:.3f} s")
+    mp4_s, mp4_doc = time_engine(
+        spec, "paired", args.mp_trials, args.seed, args.repeats, jobs=4
+    )
+    print(f"paired, jobs=4: {mp4_s:.3f} s")
+
+    # Compare as canonical JSON text: all-fail cells carry NaN
+    # aggregates, and NaN != NaN would flag identical docs as diverged.
+    def text_of(doc: dict) -> str:
+        return json.dumps(doc, sort_keys=True)
+
+    if text_of(percell_doc) != text_of(paired_doc):
         print("FATAL: engines disagree — results are not bit-identical")
         return 1
+    if text_of(mp1_doc) != text_of(mp4_doc):
+        print("FATAL: jobs=4 diverges from jobs=1 — not bit-identical")
+        return 1
     speedup = percell_s / paired_s
-    print(f"speedup: {speedup:.2f}x (bit-identical results)")
+    multiprocess_speedup = mp1_s / mp4_s
+    cpu_count = os.cpu_count() or 1
+    print(
+        f"speedup: {speedup:.2f}x serial, {multiprocess_speedup:.2f}x "
+        "from jobs=4 (bit-identical results)"
+    )
+    if cpu_count < 4:
+        print(
+            f"note: only {cpu_count} CPU(s) available — the jobs=4 leg "
+            "measures dispatch overhead, not parallel speedup"
+        )
 
     doc = {
         "format": "repro.bench-runner/1",
@@ -116,7 +164,13 @@ def main(argv: list[str] | None = None) -> int:
         "percell_seconds": round(percell_s, 6),
         "paired_seconds": round(paired_s, 6),
         "speedup": round(speedup, 4),
+        "multiprocess_trials_per_cell": args.mp_trials,
+        "multiprocess_jobs": 4,
+        "paired_mp_jobs1_seconds": round(mp1_s, 6),
+        "paired_mp_jobs4_seconds": round(mp4_s, 6),
+        "multiprocess_speedup": round(multiprocess_speedup, 4),
         "bit_identical": True,
+        "cpu_count": cpu_count,
         "python": platform_mod.python_version(),
         "machine": platform_mod.machine(),
     }

@@ -45,7 +45,10 @@ __all__ = [
 ]
 
 #: First-argument tokens routed to a dedicated subcommand parser.
-SUBCOMMANDS = ("figures", "serve")
+#: ``experiment`` is an alias of ``figures`` — the subcommand runs any
+#: experiment (declarative --config documents included), not only the
+#: paper's figures.
+SUBCOMMANDS = ("figures", "experiment", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,6 +118,16 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical either way)",
     )
     parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persistent result store: completed (cell, seed-chunk) "
+        "partials are restored instead of recomputed, so warm re-runs, "
+        "resumed sweeps and added series skip finished work (results "
+        "are bit-identical to uncached runs)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -152,6 +165,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="LRU budget for cached assignments (default 1024)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist computed assignments to a result store in DIR; a "
+        "restarted service pointed at the same directory starts warm",
     )
     parser.add_argument(
         "--batch-size",
@@ -206,6 +227,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             batch_wait=args.batch_wait,
             workers=args.workers,
             max_queue=args.max_queue if args.max_queue > 0 else None,
+            cache_dir=args.cache_dir,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -241,9 +263,24 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
-    if argv and argv[0] == "figures":
+    if argv and argv[0] in ("figures", "experiment"):
         argv = argv[1:]
     return figures_main(argv)
+
+
+def _cache_summary(stats) -> str:
+    """One-line result-store summary printed under each experiment report.
+
+    Surfaces reuse without making anyone read JSON: how many chunk
+    partials were restored vs. computed this run, and the store's
+    resulting size.
+    """
+    return (
+        f"cache: {stats.hits} restored / {stats.misses} computed "
+        f"chunk partials ({stats.hit_rate:.0%} hit rate), "
+        f"{stats.appends} appended; store now {stats.records} records, "
+        f"{stats.bytes / 1024:.1f} KiB"
+    )
 
 
 def figures_main(argv: list[str] | None = None) -> int:
@@ -270,6 +307,16 @@ def figures_main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
+    store = None
+    if args.cache is not None:
+        from ..store import TrialStore
+
+        try:
+            store = TrialStore(args.cache)
+        except ReproError as exc:
+            print(f"error opening cache {args.cache}: {exc}", file=sys.stderr)
+            return 2
+
     status = 0
     for name in names:
         try:
@@ -287,12 +334,15 @@ def figures_main(argv: list[str] | None = None) -> int:
                 jobs=args.jobs,
                 chunk_size=args.chunk_size,
                 engine=args.engine,
+                cache=store,
             )
         except ReproError as exc:
             print(f"error running {name!r}: {exc}", file=sys.stderr)
             status = 1
             continue
         print(render_report(result))
+        if result.cache_stats is not None:
+            print(_cache_summary(result.cache_stats))
         print()
         if args.out is not None:
             save_json(result, args.out / f"{name}.json")
@@ -300,6 +350,8 @@ def figures_main(argv: list[str] | None = None) -> int:
             (args.out / f"{name}.md").write_text(
                 f"### {result.title}\n\n{result_markdown(result)}\n"
             )
+    if store is not None:
+        store.close()
 
     if args.report:
         if args.out is None:

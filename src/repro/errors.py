@@ -22,6 +22,7 @@ __all__ = [
     "ExperimentError",
     "SerializationError",
     "ServiceOverloadError",
+    "StoreError",
 ]
 
 
@@ -91,3 +92,7 @@ class ServiceOverloadError(ReproError):
     the backpressure contract: shed load at the door instead of
     building an unbounded backlog.
     """
+
+
+class StoreError(ReproError):
+    """The persistent result store is malformed or was misused."""

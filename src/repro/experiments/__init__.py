@@ -18,6 +18,7 @@ from .runner import (
     ENGINE_NAMES,
     CellResult,
     ExperimentResult,
+    cell_chunk_key,
     run_cell,
     run_experiment,
     run_paired_cells,
@@ -34,6 +35,7 @@ __all__ = [
     "run_cell",
     "run_paired_cells",
     "run_experiment",
+    "cell_chunk_key",
     "ENGINE_NAMES",
     "TrialContext",
     "CellResult",

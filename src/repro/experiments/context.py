@@ -24,8 +24,10 @@ from ..errors import DistributionError
 from ..graph.algorithms import TransitiveClosure
 from ..graph.taskgraph import TaskGraph
 from ..system.platform import Platform
+from ..rng import make_rng
 from ..types import Time
-from ..workload.generator import Workload
+from ..workload.generator import Workload, generate_workload
+from ..workload.params import WorkloadParams
 
 __all__ = ["TrialContext"]
 
@@ -58,6 +60,17 @@ class TrialContext:
         self._closure: TransitiveClosure | None = None
         self._estimates: dict[str, Mapping[str, Time]] = {}
         self._strict: tuple[object, Mapping[str, Time]] | None = None
+
+    @classmethod
+    def from_seed(cls, params: "WorkloadParams", seed: int) -> "TrialContext":
+        """Generate the trial's workload from *seed* and wrap it.
+
+        The one sanctioned way to materialize a trial context in the
+        engines: the workload — and therefore everything this context
+        derives — is a pure function of ``(params, seed)``, which is
+        the determinism contract the persistent result store keys on.
+        """
+        return cls(generate_workload(params, make_rng(seed)))
 
     # ------------------------------------------------------------------
     @property

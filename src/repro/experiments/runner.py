@@ -22,6 +22,17 @@ Two engines share the same trial primitive:
   ``(x_index, series)`` cell, regenerating the workload per series.
   Kept for equivalence testing and benchmarking; both engines produce
   bit-identical cells because trial seeds never depend on the series.
+
+Both engines can consult a persistent content-addressed result store
+(``run_experiment(cache=...)``, see :mod:`repro.store`): each
+``(cell, seed-chunk)`` partial is keyed by a digest of the trial config
+and its seed block, so warm re-runs skip completed chunks entirely, an
+interrupted sweep resumes where it stopped, and a delta sweep that adds
+a series to an existing grid recomputes only the new series' judgments
+— all while producing the same ``ExperimentResult``, bit for bit, as an
+uncached run at any ``jobs``/``engine`` setting (cached partials are
+the exact aggregates the engine would have produced, and merge order is
+preserved).
 """
 
 from __future__ import annotations
@@ -30,16 +41,17 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
 from ..analysis.stats import BinomialEstimate
 from ..core.metrics import get_metric
 from ..core.slicing import distribute_deadlines
 from ..errors import ExperimentError, ReproError
-from ..rng import derive_seed, make_rng
+from ..rng import derive_seed
 from ..sched.listsched import get_scheduler
+from ..store import StoreStats, TrialStore, store_key
 from ..system.interconnect import ContentionBus
-from ..workload.generator import generate_workload
 from .context import TrialContext
 from .spec import ExperimentSpec, TrialConfig, TrialOutcome
 
@@ -48,6 +60,7 @@ __all__ = [
     "run_cell",
     "run_paired_cells",
     "run_experiment",
+    "cell_chunk_key",
     "CellResult",
     "ExperimentResult",
     "ENGINE_NAMES",
@@ -69,7 +82,7 @@ def run_trial(
     context only memoizes pure functions of the workload.
     """
     if context is None:
-        context = TrialContext(generate_workload(config.workload, make_rng(seed)))
+        context = TrialContext.from_seed(config.workload, seed)
     graph, platform = context.graph, context.platform
 
     fixed = None
@@ -182,6 +195,57 @@ class CellResult:
             lateness_trials=ln,
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """The store record of this (partial) cell.
+
+        Round-trips exactly: counts are integers, means go through
+        JSON's ``repr``-based float encoding which is lossless for
+        float64 (NaN included), so a cached partial merges to the same
+        bits as a freshly computed one.
+        """
+        return {
+            "successes": self.estimate.successes,
+            "trials": self.estimate.trials,
+            "degenerate": self.degenerate,
+            "mean_min_laxity": self.mean_min_laxity,
+            "mean_max_lateness": self.mean_max_lateness,
+            "lateness_trials": self.lateness_trials,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "CellResult":
+        """Inverse of :meth:`to_dict` (store records, result files)."""
+        try:
+            return cls(
+                estimate=BinomialEstimate(
+                    int(doc["successes"]), int(doc["trials"])
+                ),
+                degenerate=int(doc["degenerate"]),
+                mean_min_laxity=float(doc["mean_min_laxity"]),
+                mean_max_lateness=float(doc["mean_max_lateness"]),
+                lateness_trials=int(doc["lateness_trials"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(f"malformed cell record: {exc}") from exc
+
+
+def cell_chunk_key(config: TrialConfig, seeds: Sequence[int]) -> str:
+    """Content address of one (cell, seed-chunk) partial result.
+
+    Keyed by everything that determines the outcomes — the full trial
+    config (workload params, metric/estimator/adaptive/bus/scheduler/
+    locality knobs) and the exact seed block — plus, inside
+    :func:`repro.store.store_key`, the store schema and the code salt.
+    Deliberately *not* keyed: the root seed, x value/index and trials
+    count (all already captured by the derived seeds), and
+    ``jobs``/``engine`` (results are invariant to them).  Sweeps that
+    overlap — a widened x axis, more trials per cell, a new series —
+    therefore share every chunk they have in common.
+    """
+    return store_key(
+        "cell-chunk", {"config": config.to_dict(), "seeds": list(seeds)}
+    )
+
 
 def _nan_zero(v: float) -> float:
     return 0.0 if v != v else v
@@ -252,9 +316,7 @@ def run_paired_cells(
         for si, config in cells:
             context = contexts.get(config.workload)
             if context is None:
-                context = TrialContext(
-                    generate_workload(config.workload, make_rng(seed))
-                )
+                context = TrialContext.from_seed(config.workload, seed)
                 contexts[config.workload] = context
             accs[si].add(run_trial(config, seed, context))
     return [(si, accs[si].result(len(seeds))) for si, _ in cells]
@@ -274,6 +336,10 @@ class ExperimentResult:
     seed: int = 0
     elapsed_seconds: float = 0.0
     paper_reference: str = ""
+    #: Store activity of this run (hit/miss/append deltas) when a cache
+    #: was used, else ``None``.  Excluded from :meth:`to_dict` so cached
+    #: and uncached runs serialize identically.
+    cache_stats: StoreStats | None = None
 
     def cell(self, x_index: int, series_label: str) -> CellResult:
         try:
@@ -350,21 +416,34 @@ def run_experiment(
     jobs: int | None = None,
     chunk_size: int = 32,
     engine: str = "paired",
+    cache: "TrialStore | str | Path | None" = None,
 ) -> ExperimentResult:
     """Run every cell of *spec* with *trials* trials each.
 
     ``jobs`` selects the number of worker processes (default: CPU
-    count); ``jobs <= 1`` runs serially in-process, which is also the
-    mode the test suite uses.  ``engine`` picks the work-unit shape:
-    ``"paired"`` (default) fans out ``(x_index, seed_chunk)`` units that
-    evaluate every series on one generated workload per seed;
-    ``"percell"`` is the historical one-unit-per-(x, series) engine.
-    Results are invariant to ``jobs`` and ``engine`` — cell for cell,
-    bit for bit — because trial seeds depend only on ``(seed, x_index,
-    trial_index)`` and both engines chunk the seed sequence identically.
-    ``chunk_size`` changes only how the partial mean-laxity/lateness
-    sums are grouped before merging, which can shift those two means by
-    floating-point rounding (success counts stay bit-identical).
+    count, clamped to the number of dispatched work units so small
+    sweeps never spawn idle workers); ``jobs <= 1`` runs serially
+    in-process, which is also the mode the test suite uses.  ``engine``
+    picks the work-unit shape: ``"paired"`` (default) fans out
+    ``(x_index, seed_chunk)`` units that evaluate every series on one
+    generated workload per seed; ``"percell"`` is the historical
+    one-unit-per-(x, series) engine.  Results are invariant to ``jobs``
+    and ``engine`` — cell for cell, bit for bit — because trial seeds
+    depend only on ``(seed, x_index, trial_index)`` and both engines
+    chunk the seed sequence identically.  ``chunk_size`` changes only
+    how the partial mean-laxity/lateness sums are grouped before
+    merging, which can shift those two means by floating-point rounding
+    (success counts stay bit-identical).
+
+    ``cache`` — a :class:`~repro.store.TrialStore` or a directory path
+    — consults the persistent result store before computing: completed
+    ``(cell, seed-chunk)`` partials (see :func:`cell_chunk_key`) are
+    restored instead of re-judged, fresh partials are appended for the
+    next run.  The returned result is bit-identical to an uncached run;
+    the run's store activity lands in ``result.cache_stats``.  Because
+    keys cover the config and seed block only, a warm store also
+    accelerates *overlapping* sweeps: added series, widened x axes, or
+    raised trial counts recompute just the missing chunks.
     """
     if trials < 1:
         raise ExperimentError("trials must be at least 1")
@@ -382,6 +461,7 @@ def run_experiment(
         raise ExperimentError(
             f"unknown engine {engine!r}; choose from {ENGINE_NAMES}"
         )
+    store, owned = _resolve_store(cache)
     start = time.perf_counter()
     result = ExperimentResult(
         name=spec.name,
@@ -394,10 +474,21 @@ def run_experiment(
         paper_reference=spec.paper_reference,
     )
 
-    if engine == "paired":
-        partials = _run_paired_units(spec, trials, seed, jobs, chunk_size)
-    else:
-        partials = _run_percell_units(spec, trials, seed, jobs, chunk_size)
+    stats_before = store.stats() if store is not None else None
+    try:
+        if engine == "paired":
+            partials = _run_paired_units(
+                spec, trials, seed, jobs, chunk_size, store
+            )
+        else:
+            partials = _run_percell_units(
+                spec, trials, seed, jobs, chunk_size, store
+            )
+    finally:
+        if store is not None:
+            result.cache_stats = store.stats().since(stats_before)
+            if owned:
+                store.close()
 
     for key, cell in partials:
         if key in result.cells:
@@ -409,11 +500,31 @@ def run_experiment(
     return result
 
 
-def _resolve_jobs(jobs: int | None) -> int:
-    return jobs if jobs is not None else (os.cpu_count() or 1)
+def _resolve_store(
+    cache: "TrialStore | str | Path | None",
+) -> tuple[TrialStore | None, bool]:
+    """Normalize the ``cache`` argument; the bool means "close after"."""
+    if cache is None:
+        return None, False
+    if isinstance(cache, (str, Path)):
+        return TrialStore(cache), True
+    return cache, False
 
 
-def _collect(futures):
+def _resolve_jobs(jobs: int | None, n_units: int | None = None) -> int:
+    """Worker count: explicit ``jobs`` or CPU count, clamped to the work.
+
+    The clamp matters for small sweeps and warm caches: spawning more
+    processes than there are dispatched units only pays fork/import
+    cost for workers that would exit without ever receiving work.
+    """
+    resolved = jobs if jobs is not None else (os.cpu_count() or 1)
+    if n_units is not None:
+        resolved = min(resolved, max(1, n_units))
+    return resolved
+
+
+def _collect(futures, what: str = "cell"):
     """Drain (key, future) pairs, surfacing worker crashes clearly."""
     out = []
     for key, fut in futures:
@@ -422,7 +533,9 @@ def _collect(futures):
         except ReproError:
             raise
         except Exception as exc:
-            raise ExperimentError(f"worker failed on cell {key}: {exc}") from exc
+            raise ExperimentError(
+                f"worker failed on {what} {key}: {exc}"
+            ) from exc
     return out
 
 
@@ -432,6 +545,7 @@ def _run_percell_units(
     seed: int,
     jobs: int | None,
     chunk_size: int,
+    store: TrialStore | None,
 ) -> list[tuple[tuple[int, int], CellResult]]:
     """The historical engine: one work unit per (cell, seed chunk)."""
     units: list[tuple[tuple[int, int], TrialConfig, list[int]]] = []
@@ -440,13 +554,42 @@ def _run_percell_units(
         for lo in range(0, trials, chunk_size):
             units.append(((xi, si), config, seeds[lo : lo + chunk_size]))
 
-    if _resolve_jobs(jobs) <= 1 or len(units) == 1:
-        return [(key, run_cell(config, seeds)) for key, config, seeds in units]
-    with ProcessPoolExecutor(max_workers=_resolve_jobs(jobs)) as pool:
-        return _collect(
-            (key, pool.submit(run_cell, config, seeds))
-            for key, config, seeds in units
-        )
+    # Partition units into store hits (restored) and pending work.
+    results: list[CellResult | None] = [None] * len(units)
+    store_keys: dict[int, str] = {}
+    pending: list[int] = []
+    for i, (_key, config, seeds) in enumerate(units):
+        if store is not None:
+            skey = cell_chunk_key(config, seeds)
+            cached = store.get(skey)
+            if cached is not None:
+                results[i] = CellResult.from_dict(cached)
+                continue
+            store_keys[i] = skey
+        pending.append(i)
+
+    if pending:
+        if _resolve_jobs(jobs, len(pending)) <= 1:
+            for i in pending:
+                _key, config, seeds = units[i]
+                results[i] = run_cell(config, seeds)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=_resolve_jobs(jobs, len(pending))
+            ) as pool:
+                fresh = _collect(
+                    (i, pool.submit(run_cell, units[i][1], units[i][2]))
+                    for i in pending
+                )
+            for i, cell in fresh:
+                results[i] = cell
+        if store is not None:
+            store.put_many(
+                (store_keys[i], results[i].to_dict()) for i in pending
+            )
+
+    # Emit in unit order — the exact merge order of the uncached run.
+    return [(units[i][0], results[i]) for i in range(len(units))]
 
 
 def _run_paired_units(
@@ -455,6 +598,7 @@ def _run_paired_units(
     seed: int,
     jobs: int | None,
     chunk_size: int,
+    store: TrialStore | None,
 ) -> list[tuple[tuple[int, int], CellResult]]:
     """The paired engine: one work unit per (x_index, seed chunk).
 
@@ -462,6 +606,11 @@ def _run_paired_units(
     back to ``((x_index, series_index), CellResult)`` pairs in chunk
     order per cell — the same merge order as the per-cell engine, so
     the sequential weighted-mean merges produce identical floats.
+
+    With a store, a unit dispatches only its *missing* series (the
+    delta-sweep path): the shared paired workloads are generated once
+    per seed either way, but already-stored series skip judgment
+    entirely, and a fully stored unit never reaches a worker.
     """
     units: list[tuple[int, list[tuple[int, TrialConfig]], list[int]]] = []
     for xi, _x, group in spec.cells_by_x():
@@ -470,16 +619,53 @@ def _run_paired_units(
         for lo in range(0, trials, chunk_size):
             units.append((xi, cells, seeds[lo : lo + chunk_size]))
 
-    if _resolve_jobs(jobs) <= 1 or len(units) == 1:
-        batches = [
-            (xi, run_paired_cells(cells, seeds)) for xi, cells, seeds in units
-        ]
-    else:
-        with ProcessPoolExecutor(max_workers=_resolve_jobs(jobs)) as pool:
-            batches = _collect(
-                (xi, pool.submit(run_paired_cells, cells, seeds))
-                for xi, cells, seeds in units
-            )
+    unit_results: list[dict[int, CellResult]] = [{} for _ in units]
+    unit_keys: list[dict[int, str]] = [{} for _ in units]
+    dispatch: list[tuple[int, list[tuple[int, TrialConfig]], list[int]]] = []
+    for u, (_xi, cells, seeds) in enumerate(units):
+        missing = cells
+        if store is not None:
+            missing = []
+            for si, config in cells:
+                skey = cell_chunk_key(config, seeds)
+                cached = store.get(skey)
+                if cached is not None:
+                    unit_results[u][si] = CellResult.from_dict(cached)
+                else:
+                    unit_keys[u][si] = skey
+                    missing.append((si, config))
+        if missing:
+            dispatch.append((u, missing, seeds))
+
+    if dispatch:
+        if _resolve_jobs(jobs, len(dispatch)) <= 1:
+            batches = [
+                (u, run_paired_cells(cells, seeds))
+                for u, cells, seeds in dispatch
+            ]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=_resolve_jobs(jobs, len(dispatch))
+            ) as pool:
+                batches = _collect(
+                    (
+                        (u, pool.submit(run_paired_cells, cells, seeds))
+                        for u, cells, seeds in dispatch
+                    ),
+                    what="sweep-point unit",
+                )
+        records: list[tuple[str, dict[str, Any]]] = []
+        for u, partials in batches:
+            for si, cell in partials:
+                unit_results[u][si] = cell
+                if store is not None:
+                    records.append((unit_keys[u][si], cell.to_dict()))
+        if store is not None:
+            store.put_many(records)
+
+    # Flatten per unit in series order — identical to the uncached walk.
     return [
-        ((xi, si), cell) for xi, partials in batches for si, cell in partials
+        ((units[u][0], si), unit_results[u][si])
+        for u in range(len(units))
+        for si, _config in units[u][1]
     ]

@@ -59,6 +59,30 @@ class TrialConfig:
             f"ETD={self.workload.etd:.0%} CCR={self.workload.ccr:g}"
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON document of every outcome-determining knob.
+
+        This is the config half of the persistent result store's key
+        (see :mod:`repro.store`): two configs produce the same trial
+        outcomes for the same seeds iff these documents are equal, so
+        every field that can change an outcome must appear here.
+        """
+        return {
+            "workload": self.workload.to_dict(),
+            "metric": self.metric,
+            "estimator": self.estimator,
+            "adaptive": {
+                "k_g": self.adaptive.k_g,
+                "k_l": self.adaptive.k_l,
+                "c_thres": self.adaptive.c_thres,
+                "c_thres_factor": self.adaptive.c_thres_factor,
+            },
+            "contention_bus": self.contention_bus,
+            "scheduler": self.scheduler,
+            "measure_lateness": self.measure_lateness,
+            "locality": self.locality,
+        }
+
 
 @dataclass(frozen=True)
 class TrialOutcome:

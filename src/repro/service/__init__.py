@@ -33,7 +33,7 @@ from .api import (
 )
 from ..errors import ServiceOverloadError
 from .batch import MicroBatcher
-from .cache import AssignmentCache, CacheStats
+from .cache import AssignmentCache, CacheStats, StoreSpill
 from .metrics import Counter, LatencySummary, ServiceMetrics, render_prometheus
 from .server import DeadlineAssignmentService, ServiceHTTPServer, create_server
 
@@ -47,6 +47,7 @@ __all__ = [
     "response_to_dict",
     "AssignmentCache",
     "CacheStats",
+    "StoreSpill",
     "MicroBatcher",
     "ServiceOverloadError",
     "Counter",

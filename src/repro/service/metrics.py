@@ -203,6 +203,72 @@ class ServiceMetrics:
             "End-to-end POST /assign service latency.",
             window=latency_window,
         )
+        # Persistent-store instrumentation: a snapshot provider (set by
+        # the service when it runs with --cache-dir) is polled at scrape
+        # time, so the repro_store_* series always reflect the store's
+        # own exact counters instead of a shadow count.
+        self._store_stats_provider = None
+
+    def set_store_stats_provider(self, provider) -> None:
+        """Register a zero-arg callable returning a ``StoreStats``.
+
+        Rendered as ``repro_store_{hits,misses,appends,evictions}_total``
+        counters plus ``repro_store_{records,bytes}`` gauges on every
+        ``/metrics`` scrape; pass ``None`` to detach.
+        """
+        self._store_stats_provider = provider
+
+    def _render_store(self) -> list[str]:
+        provider = self._store_stats_provider
+        if provider is None:
+            return []
+        stats = provider()
+        lines: list[str] = []
+        for name, help_text, value in (
+            ("repro_store_hits_total", "Persistent-store hits.", stats.hits),
+            (
+                "repro_store_misses_total",
+                "Persistent-store misses.",
+                stats.misses,
+            ),
+            (
+                "repro_store_appends_total",
+                "Records appended to the persistent store.",
+                stats.appends,
+            ),
+            (
+                "repro_store_evictions_total",
+                "Records evicted from the persistent store.",
+                stats.evictions,
+            ),
+        ):
+            lines.extend(
+                [
+                    f"# HELP {name} {help_text}",
+                    f"# TYPE {name} counter",
+                    f"{name} {_format_value(value)}",
+                ]
+            )
+        for name, help_text, value in (
+            (
+                "repro_store_records",
+                "Records currently in the persistent store.",
+                stats.records,
+            ),
+            (
+                "repro_store_bytes",
+                "On-disk size of the persistent store's segments.",
+                stats.bytes,
+            ),
+        ):
+            lines.extend(
+                [
+                    f"# HELP {name} {help_text}",
+                    f"# TYPE {name} gauge",
+                    f"{name} {_format_value(value)}",
+                ]
+            )
+        return lines
 
     def observe_batch(self, size: int) -> None:
         """Micro-batcher dispatch hook."""
@@ -237,6 +303,7 @@ class ServiceMetrics:
                 f"repro_cache_hit_rate {_format_value(self.cache_hit_rate())}",
             ]
         )
+        lines.extend(self._render_store())
         lines.extend(self.assign_latency.render())
         return "\n".join(lines) + "\n"
 

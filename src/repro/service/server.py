@@ -39,12 +39,14 @@ import threading
 import time
 from concurrent.futures import Future
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any
 
 from ..core.assignment import DeadlineAssignment
 from ..core.slicing import distribute_deadlines
 from ..errors import ReproError, ServiceOverloadError
 from ..online.admission import AdmissionController, AdmissionDecision
+from ..store import TrialStore
 from ..system.platform import Platform
 from .api import (
     AssignRequest,
@@ -56,7 +58,7 @@ from .api import (
     response_to_dict,
 )
 from .batch import MicroBatcher
-from .cache import AssignmentCache
+from .cache import AssignmentCache, StoreSpill
 from .metrics import ServiceMetrics
 
 __all__ = ["DeadlineAssignmentService", "ServiceHTTPServer", "create_server"]
@@ -76,6 +78,14 @@ class DeadlineAssignmentService:
         Bound on in-flight micro-batcher items; overflow raises
         :class:`~repro.errors.ServiceOverloadError` (the backpressure
         path).  ``None`` (default) keeps the queue unbounded.
+    cache_dir:
+        Optional directory for a persistent :class:`~repro.store.TrialStore`
+        backing the LRU as a durable spill tier: computed assignments
+        are written through to disk, LRU evictions only drop the memory
+        copy, and a restarted service pointed at the same directory
+        serves previously computed requests from the store (``cached``
+        true on the very first request after restart).  The store's own
+        counters appear as ``repro_store_*`` on ``GET /metrics``.
     """
 
     def __init__(
@@ -86,10 +96,21 @@ class DeadlineAssignmentService:
         batch_wait: float = 0.002,
         workers: int = 4,
         max_queue: int | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         self.metrics = ServiceMetrics()
+        self.store: TrialStore | None = None
+        spill: StoreSpill[DeadlineAssignment] | None = None
+        if cache_dir is not None:
+            self.store = TrialStore(cache_dir)
+            spill = StoreSpill(
+                self.store,
+                encode=DeadlineAssignment.to_dict,
+                decode=DeadlineAssignment.from_dict,
+            )
+            self.metrics.set_store_stats_provider(self.store.stats)
         self.cache: AssignmentCache[DeadlineAssignment] = AssignmentCache(
-            cache_size
+            cache_size, spill=spill
         )
         self.batcher: MicroBatcher[AssignRequest, DeadlineAssignment] = (
             MicroBatcher(
@@ -195,8 +216,13 @@ class DeadlineAssignmentService:
         With a *timeout* the drain is bounded: outstanding computations
         get up to that many seconds, then their futures are failed so
         no caller is left hanging (see :meth:`MicroBatcher.close`).
+        The persistent store (if any) closes after the drain, so every
+        completed computation's write-through lands before its lock is
+        released.
         """
         self.batcher.close(timeout=timeout)
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "DeadlineAssignmentService":
         return self

@@ -1,0 +1,21 @@
+"""Persistent content-addressed result store (the durable cache tier).
+
+Memoizes anything that is a pure function of digested inputs: trial
+aggregates of the experiment engine (warm re-runs, resumed sweeps,
+delta-series sweeps) and computed deadline assignments of the online
+service (``repro serve --cache-dir`` survives restarts warm).  See
+:mod:`repro.store.trialstore` for the on-disk format and concurrency
+story.
+"""
+
+from .filelock import FileLock
+from .trialstore import CODE_SALT, FORMAT, StoreStats, TrialStore, store_key
+
+__all__ = [
+    "TrialStore",
+    "StoreStats",
+    "store_key",
+    "FileLock",
+    "CODE_SALT",
+    "FORMAT",
+]

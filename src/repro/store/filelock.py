@@ -1,0 +1,96 @@
+"""Cross-process exclusive file lock for the result store.
+
+The store's append path must be serialized across *processes*: two
+``repro experiment --cache DIR`` invocations (or the experiment runner
+and a ``repro serve --cache-dir DIR`` service) may share one store
+directory.  POSIX ``flock`` gives exactly that — advisory, exclusive,
+released automatically when the holder dies, so a crashed writer never
+wedges the store.  On platforms without :mod:`fcntl` the lock degrades
+to an atomic ``O_CREAT | O_EXCL`` spin lock with stale-lock takeover.
+
+In-process (thread) exclusion is layered on top with a plain
+:class:`threading.Lock`, because ``flock`` is per open file description
+and would happily re-enter within one process.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """Exclusive advisory lock on a path, usable as a context manager.
+
+    Reentrant within neither threads nor processes — the store takes it
+    once around each batch of appends or one compaction, never nested.
+    """
+
+    #: Spin-lock fallback: seconds between acquisition attempts, and the
+    #: age past which an abandoned lock file is considered stale.
+    _SPIN_INTERVAL = 0.01
+    _STALE_AFTER = 30.0
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._thread_lock = threading.Lock()
+        self._fd: int | None = None
+
+    def acquire(self) -> None:
+        self._thread_lock.acquire()
+        try:
+            if fcntl is not None:
+                fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                self._fd = fd
+            else:  # pragma: no cover - non-POSIX fallback
+                self._fd = self._spin_acquire()
+        except BaseException:
+            self._thread_lock.release()
+            raise
+
+    def _spin_acquire(self) -> int:  # pragma: no cover - non-POSIX fallback
+        while True:
+            try:
+                return os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644
+                )
+            except FileExistsError:
+                try:
+                    if (
+                        time.time() - self.path.stat().st_mtime
+                        > self._STALE_AFTER
+                    ):
+                        self.path.unlink(missing_ok=True)
+                        continue
+                except OSError:
+                    pass
+                time.sleep(self._SPIN_INTERVAL)
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        try:
+            if fd is not None:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                else:  # pragma: no cover - non-POSIX fallback
+                    self.path.unlink(missing_ok=True)
+                os.close(fd)
+        finally:
+            self._thread_lock.release()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

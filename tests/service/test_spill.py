@@ -1,0 +1,68 @@
+"""Tests for the service's persistent spill tier (``cache_dir``).
+
+Pins the restart-warm contract: a service pointed at a store directory
+writes every computed assignment through, so a *new* service over the
+same directory serves the first repeat request from the store
+(``cached: true``), and an LRU eviction only drops the memory copy.
+Store counters must surface on ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.service import DeadlineAssignmentService
+
+from .conftest import chain_request
+
+
+def response_text(doc: dict) -> str:
+    return json.dumps(doc["slices"], sort_keys=True)
+
+
+class TestServiceSpill:
+    def test_restart_starts_warm(self, tmp_path):
+        request = chain_request()
+        with DeadlineAssignmentService(cache_dir=tmp_path / "s") as first:
+            cold = first.assign_dict(request)
+            assert cold["cached"] is False
+        with DeadlineAssignmentService(cache_dir=tmp_path / "s") as second:
+            warm = second.assign_dict(request)
+        assert warm["cached"] is True
+        assert response_text(warm) == response_text(cold)
+        assert warm["digest"] == cold["digest"]
+
+    def test_eviction_restores_from_spill(self, tmp_path):
+        alpha = chain_request(wcets=(10, 20, 15))
+        beta = chain_request(wcets=(5, 5, 5))
+        with DeadlineAssignmentService(
+            cache_size=1, cache_dir=tmp_path / "s"
+        ) as service:
+            first = service.assign_dict(alpha)
+            service.assign_dict(beta)  # evicts alpha from the LRU tier
+            assert len(service.cache) == 1
+            again = service.assign_dict(alpha)
+            assert again["cached"] is True  # restored, not recomputed
+            assert response_text(again) == response_text(first)
+            assert service.store.stats().hits >= 1
+
+    def test_store_metrics_exposed(self, tmp_path):
+        request = chain_request()
+        with DeadlineAssignmentService(cache_dir=tmp_path / "s") as service:
+            service.assign_dict(request)
+            text = service.metrics.render()
+        lines = dict(
+            line.split(" ", 1)
+            for line in text.splitlines()
+            if line.startswith("repro_store_") and not line.startswith("# ")
+        )
+        # The cold request missed the store once, then wrote through.
+        assert int(lines["repro_store_misses_total"]) >= 1
+        assert int(lines["repro_store_appends_total"]) == 1
+        assert int(lines["repro_store_records"]) == 1
+        assert int(lines["repro_store_bytes"]) > 0
+
+    def test_no_cache_dir_means_no_store_series(self):
+        with DeadlineAssignmentService() as service:
+            assert service.store is None
+            assert "repro_store_" not in service.metrics.render()

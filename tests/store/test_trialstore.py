@@ -1,0 +1,197 @@
+"""Unit tests for :mod:`repro.store` — keys, durability, concurrency.
+
+The store's contract is narrow but load-bearing: content-addressed
+keys that change with the code salt, durable appends that survive
+reopen and torn tails, atomic compaction with oldest-first eviction,
+and whole-line append atomicity under concurrent writer *processes*
+(the ``jobs > 1`` sweep case).  Each test pins one clause.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import pytest
+
+from repro.errors import StoreError
+from repro.store import CODE_SALT, TrialStore, store_key
+
+
+class TestStoreKey:
+    def test_deterministic_and_order_insensitive(self):
+        a = store_key("cell", {"x": 1, "y": [2, 3]})
+        b = store_key("cell", {"y": [2, 3], "x": 1})
+        assert a == b
+        assert len(a) == 64 and int(a, 16) >= 0
+
+    def test_salt_kind_and_payload_all_change_the_key(self):
+        base = store_key("cell", {"x": 1})
+        assert store_key("cell", {"x": 1}, salt="other/2") != base
+        assert store_key("assignment", {"x": 1}) != base
+        assert store_key("cell", {"x": 2}) != base
+        assert store_key("cell", {"x": 1}, salt=CODE_SALT) == base
+
+    def test_non_finite_payload_rejected(self):
+        # Canonical addressing demands every writer derive the same
+        # bytes; NaN serializations are not portable, so refuse them.
+        with pytest.raises(ValueError):
+            store_key("cell", {"x": float("nan")})
+
+
+class TestTrialStore:
+    def test_roundtrip_including_nan_values(self, tmp_path):
+        store = TrialStore(tmp_path / "s")
+        key = store_key("t", {"i": 1})
+        value = {"mean": float("nan"), "count": 3, "xs": [1.5, -2.0]}
+        store.put(key, value)
+        got = store.get(key)
+        assert got["count"] == 3 and got["xs"] == [1.5, -2.0]
+        assert math.isnan(got["mean"])
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        store = TrialStore(tmp_path / "s")
+        assert store.get(store_key("t", {"i": 404})) is None
+        stats = store.stats()
+        assert (stats.hits, stats.misses) == (0, 1)
+        assert stats.hit_rate == 0.0
+
+    def test_reopen_sees_previous_appends(self, tmp_path):
+        keys = [store_key("t", {"i": i}) for i in range(20)]
+        with TrialStore(tmp_path / "s") as store:
+            assert store.put_many((k, {"i": i}) for i, k in enumerate(keys)) == 20
+        reopened = TrialStore(tmp_path / "s")
+        for i, key in enumerate(keys):
+            assert reopened.get(key) == {"i": i}
+        assert reopened.stats().hits == 20
+
+    def test_put_skips_existing_keys(self, tmp_path):
+        store = TrialStore(tmp_path / "s")
+        key = store_key("t", {"i": 1})
+        store.put(key, {"v": 1})
+        size = store.total_bytes()
+        assert store.put_many([(key, {"v": 1})]) == 0
+        assert store.total_bytes() == size
+        assert store.stats().appends == 1
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        store = TrialStore(tmp_path / "s")
+        key = store_key("t", {"i": 1})
+        store.put(key, {"v": 1})
+        # Simulate a writer killed mid-append: a partial record with no
+        # terminating newline after an intact line.
+        shard = tmp_path / "s" / "segments" / f"{key[:2]}.jsonl"
+        with open(shard, "ab") as fh:
+            fh.write(b'{"k": "deadbeef", "v": {"tr')
+        reopened = TrialStore(tmp_path / "s")
+        assert reopened.get(key) == {"v": 1}
+
+    def test_foreign_garbage_line_is_skipped(self, tmp_path):
+        store = TrialStore(tmp_path / "s")
+        key = store_key("t", {"i": 1})
+        store.put(key, {"v": 1})
+        shard = tmp_path / "s" / "segments" / f"{key[:2]}.jsonl"
+        with open(shard, "ab") as fh:
+            fh.write(b"not json at all\n")
+        reopened = TrialStore(tmp_path / "s")
+        assert reopened.get(key) == {"v": 1}
+
+    def test_compact_dedups_manual_duplicates(self, tmp_path):
+        store = TrialStore(tmp_path / "s")
+        key = store_key("t", {"i": 1})
+        store.put(key, {"v": 1})
+        shard = tmp_path / "s" / "segments" / f"{key[:2]}.jsonl"
+        line = shard.read_bytes()
+        with open(shard, "ab") as fh:
+            fh.write(line * 3)  # crashed writers may duplicate records
+        before = store.total_bytes()
+        assert store.compact() == 0  # dedup is not eviction
+        assert store.total_bytes() < before
+        assert store.get(key) == {"v": 1}
+
+    def test_compact_evicts_oldest_to_budget(self, tmp_path):
+        store = TrialStore(tmp_path / "s")
+        keys = [store_key("t", {"i": i}) for i in range(40)]
+        store.put_many((k, {"i": i, "pad": "x" * 50}) for i, k in enumerate(keys))
+        budget = store.total_bytes() // 2
+        evicted = store.compact(max_bytes=budget)
+        assert evicted > 0
+        assert store.total_bytes() <= budget
+        assert store.stats().evictions == evicted
+        survivors = sum(1 for k in keys if store.get(k) is not None)
+        assert survivors == 40 - evicted
+
+    def test_max_bytes_enforced_on_open(self, tmp_path):
+        with TrialStore(tmp_path / "s") as store:
+            store.put_many(
+                (store_key("t", {"i": i}), {"i": i, "pad": "x" * 50})
+                for i in range(40)
+            )
+            budget = store.total_bytes() // 2
+        bounded = TrialStore(tmp_path / "s", max_bytes=budget)
+        assert bounded.total_bytes() <= budget
+
+    def test_closed_store_rejects_writes(self, tmp_path):
+        store = TrialStore(tmp_path / "s")
+        store.close()
+        with pytest.raises(StoreError):
+            store.put(store_key("t", {"i": 1}), {"v": 1})
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        root = tmp_path / "s"
+        root.mkdir()
+        (root / "MANIFEST.json").write_text(
+            json.dumps({"format": "somebody-else/9"})
+        )
+        with pytest.raises(StoreError, match="format"):
+            TrialStore(root)
+
+    def test_stats_since_is_a_counter_delta(self, tmp_path):
+        store = TrialStore(tmp_path / "s")
+        key = store_key("t", {"i": 1})
+        store.put(key, {"v": 1})
+        before = store.stats()
+        store.get(key)
+        store.get(store_key("t", {"i": 2}))
+        delta = store.stats().since(before)
+        assert (delta.hits, delta.misses, delta.appends) == (1, 1, 0)
+        assert delta.records == 1  # states stay absolute
+
+
+def _append_worker(root: str, which: int, n: int) -> None:
+    store = TrialStore(root)
+    # Each writer appends its own keys plus a contended shared range,
+    # in an interleaving-friendly one-record-per-call pattern.
+    for i in range(n):
+        store.put(store_key("t", {"who": which, "i": i}), {"who": which, "i": i})
+        store.put(store_key("t", {"shared": i % 10}), {"shared": i % 10})
+    store.close()
+
+
+class TestConcurrentAppend:
+    def test_two_processes_append_without_corruption(self, tmp_path):
+        """Two writer processes interleave; no record is lost or torn."""
+        root = tmp_path / "s"
+        TrialStore(root).close()  # create the manifest up front
+        n = 50
+        workers = [
+            multiprocessing.Process(target=_append_worker, args=(str(root), w, n))
+            for w in (1, 2)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        # Every segment line must be intact JSON (whole-line appends).
+        for segment in (root / "segments").glob("*.jsonl"):
+            for line in segment.read_bytes().splitlines():
+                record = json.loads(line)
+                assert set(record) == {"k", "v"}
+        store = TrialStore(root)
+        for which in (1, 2):
+            for i in range(n):
+                key = store_key("t", {"who": which, "i": i})
+                assert store.get(key) == {"who": which, "i": i}
+        for i in range(10):
+            assert store.get(store_key("t", {"shared": i})) == {"shared": i}
