@@ -4,7 +4,7 @@ PYTHON ?= python
 TRIALS ?= 1024
 JOBS ?=
 
-.PHONY: install test bench bench-runner bench-cache bench-service cache-smoke figures lint lint-clean examples serve-smoke all
+.PHONY: install test bench bench-runner bench-cache bench-service cache-smoke kernel-smoke profile figures lint lint-clean examples serve-smoke all
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -28,6 +28,17 @@ bench-cache:
 # served 100% from the store with a byte-identical report.
 cache-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/cache_smoke.py
+
+# Tiny sweep through the CLI with REPRO_KERNEL=0 and =1 (and with
+# --engine paired-ref); all reports must be byte-identical — the
+# compiled kernel's oracle contract at the CLI boundary.
+kernel-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/kernel_smoke.py
+
+# cProfile hotspot tables of the trial hot path, compiled kernel vs
+# string-keyed reference — where the next optimisation should go.
+profile:
+	PYTHONPATH=src $(PYTHON) scripts/profile_trial.py
 
 bench-service:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_service.py --benchmark-only -q

@@ -110,12 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("paired", "percell"),
+        choices=("paired", "paired-ref", "percell"),
         default="paired",
         help="execution engine: 'paired' generates each workload once per "
-        "sweep point and judges it with every series (default); 'percell' "
-        "is the historical one-unit-per-cell engine (results are "
-        "bit-identical either way)",
+        "sweep point and judges it with every series (default); "
+        "'paired-ref' is the same engine pinned to the string-keyed "
+        "reference pipeline instead of the compiled kernel (the oracle; "
+        "see also REPRO_KERNEL=0); 'percell' is the historical "
+        "one-unit-per-cell engine (results are bit-identical either way)",
     )
     parser.add_argument(
         "--cache",

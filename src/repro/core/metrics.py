@@ -147,6 +147,14 @@ class CriticalPathMetric(ABC):
     #: Reporting/registry name.
     name: str = "?"
 
+    #: Sharing-rule family the compiled kernel implements for this
+    #: metric: ``"equal"`` (``d_i = w_i + R``), ``"norm"``
+    #: (``d_i = w_i (1 + R)``), or ``None`` (no kernel fast path; the
+    #: reference implementation always runs).  Only consulted after the
+    #: kernel's exact-type gate, so subclasses overriding the sharing
+    #: rule can never be mis-kernelized.
+    kernel_share: str | None = None
+
     #: Whether :meth:`prepare` consumes a transitive closure.  Callers
     #: that already hold one (e.g. the paired-trial experiment engine)
     #: consult this flag so the closure is built at most once per
@@ -202,6 +210,8 @@ class CriticalPathMetric(ABC):
 class _EqualShareMetric(CriticalPathMetric):
     """PURE-family sharing: ``R = (W − Σw)/n`` and ``d_i = w_i + R``."""
 
+    kernel_share = "equal"
+
     def ratio_from_totals(
         self, window: Time, total_weight: Time, length: int
     ) -> float:
@@ -234,6 +244,7 @@ class NormMetric(CriticalPathMetric):
     """NORM — normalized laxity ratio (eqs. 2–3): proportional laxity."""
 
     name = "NORM"
+    kernel_share = "norm"
 
     def prepare(
         self,

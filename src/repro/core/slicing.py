@@ -59,6 +59,8 @@ def distribute_deadlines(
     successors: Mapping[str, Sequence[str]] | None = None,
     predecessors: Mapping[str, Sequence[str]] | None = None,
     initial_pins: tuple[Mapping[str, Time], Mapping[str, Time]] | None = None,
+    compiled=None,
+    kernel: bool | None = None,
 ) -> DeadlineAssignment:
     """Distribute E-T-E deadlines over *graph* for *platform*.
 
@@ -93,6 +95,15 @@ def distribute_deadlines(
         computed once per workload instead of once per (metric,
         workload) pair.  All must describe *graph* exactly; results are
         identical either way.
+    compiled / kernel:
+        Compiled-kernel controls.  ``kernel=True`` forces the
+        integer-indexed fast path (``repro.kernel``), ``False`` forces
+        the string-keyed reference, ``None`` (default) follows the
+        ``REPRO_KERNEL`` environment switch.  The fast path only
+        engages for the four stock metrics (exact types) and is
+        bit-identical to the reference; ``compiled`` optionally injects
+        a prebuilt :class:`~repro.kernel.compiled.CompiledWorkload` so
+        repeat callers skip recompilation.
 
     Returns
     -------
@@ -103,8 +114,37 @@ def distribute_deadlines(
         validate_graph(graph).raise_if_invalid()
     metric_obj = get_metric(metric, params)
     est_obj = get_estimator(estimator)
+    derived_estimates = estimates is None
     if estimates is None:
         estimates = estimate_map(graph, est_obj, platform)
+
+    # Compiled-kernel fast path: exact stock metric types only, so any
+    # subclass with a custom sharing rule always takes the reference
+    # implementation below.  Bit-identical by construction (enforced by
+    # the kernel property suite and the kernel-smoke CI job).
+    if kernel is None:
+        from ..kernel.trial import kernel_enabled
+
+        kernel = kernel_enabled()
+    if kernel:
+        from ..kernel import KERNEL_METRIC_TYPES
+
+        if type(metric_obj) in KERNEL_METRIC_TYPES:
+            from ..kernel import compile_workload, kernel_slice, kernel_weights
+
+            cw = compiled
+            if cw is None:
+                cw = compile_workload(graph, platform)
+            est = [estimates[tid] for tid in cw.ids]
+            weights = kernel_weights(
+                cw,
+                metric_obj,
+                est,
+                est_key=est_obj.name if derived_estimates else None,
+            )
+            ka = kernel_slice(cw, metric_obj, weights)
+            return ka.to_assignment(cw, est_obj.name)
+
     state = metric_obj.prepare(graph, estimates, platform, closure=closure)
     assignment = slice_with_state(
         graph,

@@ -49,6 +49,7 @@ class TrialContext:
         "_closure",
         "_estimates",
         "_strict",
+        "_compiled",
     )
 
     def __init__(self, workload: Workload) -> None:
@@ -60,6 +61,7 @@ class TrialContext:
         self._closure: TransitiveClosure | None = None
         self._estimates: dict[str, Mapping[str, Time]] = {}
         self._strict: tuple[object, Mapping[str, Time]] | None = None
+        self._compiled = None
 
     @classmethod
     def from_seed(cls, params: "WorkloadParams", seed: int) -> "TrialContext":
@@ -141,6 +143,21 @@ class TrialContext:
         if self._closure is None:
             self._closure = TransitiveClosure(self.graph)
         return self._closure
+
+    @property
+    def compiled(self):
+        """The workload's :class:`~repro.kernel.compiled.CompiledWorkload`.
+
+        Built lazily, exactly once per trial, and shared by every
+        series judged on this workload — the kernel's analogue of the
+        other derived-state properties (it is likewise a pure function
+        of the workload).
+        """
+        if self._compiled is None:
+            from ..kernel.compiled import compile_workload
+
+            self._compiled = compile_workload(self.graph, self.platform)
+        return self._compiled
 
     # ------------------------------------------------------------------
     def estimates_for(

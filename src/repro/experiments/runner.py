@@ -52,6 +52,7 @@ from ..rng import derive_seed
 from ..sched.listsched import get_scheduler
 from ..store import StoreStats, TrialStore, store_key
 from ..system.interconnect import ContentionBus
+from ..kernel.trial import kernel_enabled, kernel_supported, run_trial_kernel
 from .context import TrialContext
 from .spec import ExperimentSpec, TrialConfig, TrialOutcome
 
@@ -67,11 +68,18 @@ __all__ = [
 ]
 
 #: Execution engines accepted by :func:`run_experiment`.
-ENGINE_NAMES: tuple[str, ...] = ("paired", "percell")
+#: ``"paired-ref"`` is the paired engine pinned to the string-keyed
+#: reference trial pipeline (the kernel's oracle); ``"paired"`` and
+#: ``"percell"`` use the compiled kernel whenever it is enabled and the
+#: config is inside its envelope — results are bit-identical either way.
+ENGINE_NAMES: tuple[str, ...] = ("paired", "paired-ref", "percell")
 
 
 def run_trial(
-    config: TrialConfig, seed: int, context: TrialContext | None = None
+    config: TrialConfig,
+    seed: int,
+    context: TrialContext | None = None,
+    use_kernel: bool | None = None,
 ) -> TrialOutcome:
     """Run one generate→slice→schedule trial.
 
@@ -80,9 +88,18 @@ def run_trial(
     every series of a trial.  When omitted, the workload is generated
     here from *seed* — the outcome is identical either way, because the
     context only memoizes pure functions of the workload.
+
+    ``use_kernel`` pins the compiled fast path on (``True``) or off
+    (``False``); the default ``None`` defers to the ``REPRO_KERNEL``
+    environment switch.  Either way the kernel only engages for configs
+    inside its bit-identical envelope (relaxed locality, plain EDF,
+    the paper's four metrics), so the outcome never depends on it.
     """
     if context is None:
         context = TrialContext.from_seed(config.workload, seed)
+    use_k = use_kernel if use_kernel is not None else kernel_enabled()
+    if use_k and kernel_supported(config):
+        return run_trial_kernel(config, context)
     graph, platform = context.graph, context.platform
 
     fixed = None
@@ -94,6 +111,10 @@ def run_trial(
         estimates = context.estimates_for(config.estimator)
     metric = get_metric(config.metric, config.adaptive)
 
+    # ``use_k`` pins the slicing/scheduling sub-dispatch too: with the
+    # kernel off (the ``paired-ref`` oracle leg, ``use_kernel=False``)
+    # every layer must run the string-keyed reference code, so neither
+    # helper may fall back to its own environment check.
     assignment = distribute_deadlines(
         graph,
         platform,
@@ -106,6 +127,8 @@ def run_trial(
         successors=context.successors,
         predecessors=context.predecessors,
         initial_pins=context.initial_pins,
+        compiled=context.compiled if use_k else None,
+        kernel=use_k,
     )
 
     comm = (
@@ -130,6 +153,7 @@ def run_trial(
         comm=comm,
         predecessors=context.predecessors,
         successors=context.successors,
+        compiled=context.compiled if use_k else None,
     )
 
     if config.measure_lateness or schedule.feasible:
@@ -289,16 +313,22 @@ class _CellAccumulator:
         )
 
 
-def run_cell(config: TrialConfig, seeds: Sequence[int]) -> CellResult:
+def run_cell(
+    config: TrialConfig,
+    seeds: Sequence[int],
+    use_kernel: bool | None = None,
+) -> CellResult:
     """Run a block of trials of one cell serially (per-cell worker unit)."""
     acc = _CellAccumulator()
     for seed in seeds:
-        acc.add(run_trial(config, seed))
+        acc.add(run_trial(config, seed, use_kernel=use_kernel))
     return acc.result(len(seeds))
 
 
 def run_paired_cells(
-    cells: Sequence[tuple[int, TrialConfig]], seeds: Sequence[int]
+    cells: Sequence[tuple[int, TrialConfig]],
+    seeds: Sequence[int],
+    use_kernel: bool | None = None,
 ) -> list[tuple[int, CellResult]]:
     """Run a block of paired trials covering every series of one sweep point.
 
@@ -318,7 +348,7 @@ def run_paired_cells(
             if context is None:
                 context = TrialContext.from_seed(config.workload, seed)
                 contexts[config.workload] = context
-            accs[si].add(run_trial(config, seed, context))
+            accs[si].add(run_trial(config, seed, context, use_kernel))
     return [(si, accs[si].result(len(seeds))) for si, _ in cells]
 
 
@@ -476,13 +506,16 @@ def run_experiment(
 
     stats_before = store.stats() if store is not None else None
     try:
-        if engine == "paired":
-            partials = _run_paired_units(
+        if engine == "percell":
+            partials = _run_percell_units(
                 spec, trials, seed, jobs, chunk_size, store
             )
         else:
-            partials = _run_percell_units(
-                spec, trials, seed, jobs, chunk_size, store
+            # "paired" defers to the REPRO_KERNEL switch per trial;
+            # "paired-ref" pins the reference pipeline (kernel oracle).
+            partials = _run_paired_units(
+                spec, trials, seed, jobs, chunk_size, store,
+                use_kernel=False if engine == "paired-ref" else None,
             )
     finally:
         if store is not None:
@@ -569,7 +602,10 @@ def _run_percell_units(
         pending.append(i)
 
     if pending:
-        if _resolve_jobs(jobs, len(pending)) <= 1:
+        # A single pending unit always runs inline: forking a pool to
+        # judge one chunk costs more than the chunk (the warm-cache
+        # tail of a resumed sweep hits this constantly).
+        if len(pending) == 1 or _resolve_jobs(jobs, len(pending)) <= 1:
             for i in pending:
                 _key, config, seeds = units[i]
                 results[i] = run_cell(config, seeds)
@@ -599,6 +635,7 @@ def _run_paired_units(
     jobs: int | None,
     chunk_size: int,
     store: TrialStore | None,
+    use_kernel: bool | None = None,
 ) -> list[tuple[tuple[int, int], CellResult]]:
     """The paired engine: one work unit per (x_index, seed chunk).
 
@@ -638,9 +675,13 @@ def _run_paired_units(
             dispatch.append((u, missing, seeds))
 
     if dispatch:
-        if _resolve_jobs(jobs, len(dispatch)) <= 1:
+        # A single dispatched unit always runs inline in the parent
+        # process — no pool spin-up for the warm-cache tail where one
+        # chunk is missing (fork/import costs more than the kernel
+        # spends judging it).
+        if len(dispatch) == 1 or _resolve_jobs(jobs, len(dispatch)) <= 1:
             batches = [
-                (u, run_paired_cells(cells, seeds))
+                (u, run_paired_cells(cells, seeds, use_kernel))
                 for u, cells, seeds in dispatch
             ]
         else:
@@ -649,7 +690,12 @@ def _run_paired_units(
             ) as pool:
                 batches = _collect(
                     (
-                        (u, pool.submit(run_paired_cells, cells, seeds))
+                        (
+                            u,
+                            pool.submit(
+                                run_paired_cells, cells, seeds, use_kernel
+                            ),
+                        )
                         for u, cells, seeds in dispatch
                     ),
                     what="sweep-point unit",

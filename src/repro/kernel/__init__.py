@@ -1,0 +1,32 @@
+"""Compiled trial kernel — flat integer-indexed fast paths.
+
+Compiles a generated workload once into contiguous arrays
+(:class:`CompiledWorkload`) and runs the trial hot loop — metric weight
+evaluation, Algorithm SLICING, EDF list scheduling — against them,
+bit-identical to the string-keyed reference implementation in
+``repro.core`` / ``repro.sched`` (which stays available as the oracle
+via ``engine="paired-ref"`` or ``REPRO_KERNEL=0``).
+
+See ``docs/performance.md`` for the architecture and the measured
+speedups.
+"""
+
+from .compiled import CompiledWorkload, compile_workload
+from .edf import KernelSchedule, kernel_schedule_edf
+from .metrics import KERNEL_METRIC_TYPES, kernel_weights
+from .slicing import KernelAssignment, kernel_slice
+from .trial import kernel_enabled, kernel_supported, run_trial_kernel
+
+__all__ = [
+    "CompiledWorkload",
+    "compile_workload",
+    "KernelAssignment",
+    "kernel_slice",
+    "KernelSchedule",
+    "kernel_schedule_edf",
+    "KERNEL_METRIC_TYPES",
+    "kernel_weights",
+    "kernel_enabled",
+    "kernel_supported",
+    "run_trial_kernel",
+]

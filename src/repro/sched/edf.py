@@ -61,6 +61,7 @@ class EdfListScheduler:
         comm: CommunicationModel | None = None,
         predecessors: Mapping[str, Sequence[str]] | None = None,
         successors: Mapping[str, Sequence[str]] | None = None,
+        compiled=None,
     ) -> Schedule:
         """Schedule *graph* on *platform* under *assignment* windows.
 
@@ -68,7 +69,18 @@ class EdfListScheduler:
         adjacency of *graph* (both must cover every task), so callers
         that schedule the same graph repeatedly — e.g. the paired-trial
         experiment engine — derive it once instead of once per schedule.
+        ``compiled`` optionally injects the workload's
+        :class:`~repro.kernel.compiled.CompiledWorkload`; the stock
+        scheduler then runs the integer-indexed kernel loop
+        (bit-identical, subject to ``REPRO_KERNEL``).  Subclasses that
+        override placement hooks always take the reference loop.
         """
+        if compiled is not None and type(self) is EdfListScheduler:
+            from ..kernel.trial import kernel_enabled
+
+            if kernel_enabled():
+                return self._schedule_kernel(compiled, assignment, comm)
+
         comm_model = comm if comm is not None else platform.comm
         comm_model.reset()
 
@@ -181,6 +193,34 @@ class EdfListScheduler:
         return result
 
     # ------------------------------------------------------------------
+    def _schedule_kernel(
+        self,
+        compiled,
+        assignment: DeadlineAssignment,
+        comm: CommunicationModel | None,
+    ) -> Schedule:
+        """Run the compiled-kernel EDF loop and materialize a Schedule."""
+        from ..kernel.edf import kernel_schedule_edf
+
+        win_a = [0.0] * compiled.n
+        win_d = [0.0] * compiled.n
+        for i, tid in enumerate(compiled.ids):
+            if tid not in assignment:
+                raise SchedulingError(
+                    f"task {tid!r} has no window in the deadline assignment"
+                )
+            w = assignment.window(tid)
+            win_a[i] = w.arrival
+            win_d[i] = w.absolute_deadline
+        ks = kernel_schedule_edf(
+            compiled,
+            win_a,
+            win_d,
+            comm=comm,
+            continue_on_miss=self.continue_on_miss,
+        )
+        return ks.to_schedule()
+
     def _initial_proc_free(self, platform: Platform) -> dict[str, Time]:
         """Per-processor earliest availability (override to warm-start)."""
         return {p.id: 0.0 for p in platform.processors()}

@@ -60,6 +60,7 @@ class _KeyedListScheduler(EdfListScheduler):
         comm=None,
         predecessors=None,
         successors=None,
+        compiled=None,
     ):
         keys = self.priorities(graph, assignment)
         missing = [t for t in graph.task_ids() if t not in keys]
@@ -73,6 +74,9 @@ class _KeyedListScheduler(EdfListScheduler):
         # proxy substitutes the priority key for the heap ordering while
         # delegating windows to the real assignment.
         proxy = _PriorityProxy(assignment, dict(keys))
+        # ``compiled`` is accepted for signature compatibility but never
+        # forwarded: the kernel heap orders by real deadlines, not by
+        # the proxy's substituted priority key.
         return super().schedule(
             graph,
             platform,

@@ -78,13 +78,14 @@ def generate_task_graph(
     graph = TaskGraph()
     ids_by_level: list[list[str]] = []
     counter = 0
+    draw_time = _time_drawer(params, rng)
     for level_size in levels:
         ids_by_level.append([])
         for _ in range(level_size):
             tid = f"t{counter:03d}"
             counter += 1
             graph.add_task(
-                Task(id=tid, wcet=_draw_wcets(params, rng, classes))
+                Task(id=tid, wcet=_draw_wcets(params, rng, classes, draw_time))
             )
             ids_by_level[-1].append(tid)
 
@@ -119,32 +120,54 @@ def _assign_levels(
 
 
 def _draw_wcets(
-    params: WorkloadParams, rng: np.random.Generator, classes: list[str]
+    params: WorkloadParams,
+    rng: np.random.Generator,
+    classes: list[str],
+    draw_time,
 ) -> dict[ProcessorClassId, float]:
     """Per-class WCET vector with the 5% ineligibility mechanism."""
-    lo, hi = params.wcet_bounds
     wcet: dict[ProcessorClassId, float] = {}
+    random = rng.random
+    ineligibility_prob = params.ineligibility_prob
     for cls in classes:
-        if rng.random() < params.ineligibility_prob:
+        if random() < ineligibility_prob:
             continue  # task deemed inappropriate for this class (§5.2)
-        wcet[ProcessorClassId(cls)] = _draw_time(lo, hi, params, rng)
+        wcet[ProcessorClassId(cls)] = draw_time()
     if not wcet:
         # Guarantee schedulability in principle: restore a random class.
         cls = classes[int(rng.integers(0, len(classes)))]
-        wcet[ProcessorClassId(cls)] = _draw_time(lo, hi, params, rng)
+        wcet[ProcessorClassId(cls)] = draw_time()
     return wcet
 
 
-def _draw_time(
-    lo: float, hi: float, params: WorkloadParams, rng: np.random.Generator
-) -> float:
+def _time_drawer(params: WorkloadParams, rng: np.random.Generator):
+    """A zero-argument execution-time sampler with the bounds hoisted.
+
+    The bound arithmetic (ceil/floor epsilon guards) depends only on
+    the parameters, so it runs once per generated graph instead of once
+    per drawn time; the random draws themselves are unchanged.
+    """
+    lo, hi = params.wcet_bounds
     if params.integer_times:
         # Integer time units (§3.1); execution times stay >= 1 even at
         # ETD = 100%, where the real interval's lower edge touches zero.
         ilo = max(1, int(np.ceil(lo - 1e-9)))
         ihi = max(ilo, int(np.floor(hi + 1e-9)))
-        return float(rng.integers(ilo, ihi + 1))
-    return float(rng.uniform(max(lo, np.finfo(float).tiny), hi))
+        hi_exclusive = ihi + 1
+        integers = rng.integers
+
+        def draw_time() -> float:
+            return float(integers(ilo, hi_exclusive))
+
+        return draw_time
+
+    flo = max(lo, np.finfo(float).tiny)
+    uniform = rng.uniform
+
+    def draw_time() -> float:
+        return float(uniform(flo, hi))
+
+    return draw_time
 
 
 def _connect_levels(
@@ -157,9 +180,13 @@ def _connect_levels(
     fan_lo, fan_hi = params.fan_range
     out_degree: dict[str, int] = {tid: 0 for tid in graph.task_ids()}
 
+    # `earlier` accumulates the levels already passed — extending it
+    # incrementally keeps the same contents and order as rebuilding the
+    # prefix flattening at every level.
+    earlier: list[str] = []
     for level in range(1, len(ids_by_level)):
         prev = ids_by_level[level - 1]
-        earlier = [tid for lvl in ids_by_level[:level] for tid in lvl]
+        earlier.extend(prev)
         for tid in ids_by_level[level]:
             k = int(rng.integers(fan_lo, fan_hi + 1))
             # First predecessor comes from the previous level so the
@@ -257,10 +284,20 @@ def _attach_messages(
     CCR = 0.1, c_mean = 20).  A CCR of zero produces empty messages.
     """
     max_size = int(round(2.0 * params.mean_message_cost)) - 1
-    edges = list(graph.edges())
-    for src, dst, _ in edges:
-        if max_size < 1:
-            size = 0.0
-        else:
-            size = float(rng.integers(1, max_size + 1))
-        graph.set_message_size(src, dst, size)
+    # Value-only rewrites on existing keys are iteration-safe; writing
+    # the raw adjacency dicts skips the per-edge has_edge revalidation
+    # of set_message_size (the edges exist by construction).
+    succ_d, pred_d = graph._succ, graph._pred
+    if max_size < 1:
+        for src, out in succ_d.items():
+            for dst in out:
+                out[dst] = 0.0
+                pred_d[dst][src] = 0.0
+        return
+    integers = rng.integers
+    hi_exclusive = max_size + 1
+    for src, out in succ_d.items():
+        for dst in out:
+            size = float(integers(1, hi_exclusive))
+            out[dst] = size
+            pred_d[dst][src] = size

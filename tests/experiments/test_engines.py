@@ -82,7 +82,7 @@ class TestEngineEquivalence:
 
 class TestEngineSelection:
     def test_engine_names_registry(self):
-        assert set(ENGINE_NAMES) == {"paired", "percell"}
+        assert set(ENGINE_NAMES) == {"paired", "paired-ref", "percell"}
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ExperimentError, match="unknown engine"):
