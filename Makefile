@@ -4,7 +4,7 @@ PYTHON ?= python
 TRIALS ?= 1024
 JOBS ?=
 
-.PHONY: install test bench bench-runner bench-cache bench-service cache-smoke kernel-smoke profile figures lint lint-clean examples serve-smoke all
+.PHONY: install test bench bench-runner bench-cache bench-fabric bench-service cache-smoke kernel-smoke fabric-smoke profile figures lint lint-clean examples serve-smoke all
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -35,6 +35,18 @@ cache-smoke:
 kernel-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/kernel_smoke.py
 
+# Chaos smoke of the distributed sweep fabric: coordinator + 2 local
+# workers, one SIGKILLed while holding a lease; the sweep must still
+# complete bit-identical to a single-process run and resume for free.
+fabric-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/fabric_smoke.py
+
+# workers=1 vs workers=N sweep throughput over the fabric; writes
+# BENCH_fabric.json.  Bit-identity to the single-process baseline is a
+# hard gate; the speedup is recorded, not gated (CI boxes vary).
+bench-fabric:
+	PYTHONPATH=src $(PYTHON) scripts/bench_fabric.py
+
 # cProfile hotspot tables of the trial hot path, compiled kernel vs
 # string-keyed reference — where the next optimisation should go.
 profile:
@@ -47,7 +59,7 @@ bench-service:
 # concurrency bugs live: the service, the admission path, the store,
 # the CLI.
 lint:
-	ruff check src/repro/service src/repro/online src/repro/store src/repro/cli src/repro/errors.py
+	ruff check src/repro/service src/repro/online src/repro/store src/repro/fabric src/repro/cli src/repro/errors.py
 
 figures:
 	$(PYTHON) -m repro --all --trials $(TRIALS) --out results/ $(if $(JOBS),--jobs $(JOBS))

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Benchmark the distributed sweep fabric: workers=1 vs workers=N.
+
+Runs the same fig2-shaped sweep three ways — single-process
+``run_experiment`` (the baseline the fabric must reproduce bit for
+bit), ``run_sweep`` with one worker process, and ``run_sweep`` with N
+workers — and records wall-clock throughput (units/second) for each in
+``BENCH_fabric.json``.
+
+Correctness gates (hard failures): every fabric result must be
+bit-identical to the single-process baseline, and every sweep must
+complete all of its units.  Throughput numbers are *recorded, not
+gated* — the fabric's per-unit coordination overhead (durable queue
+writes under a file lock) and the host's core count decide whether N
+workers outrun one, and a single-core CI box must not fail the build
+for lacking parallelism.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_fabric.py [--trials N] [--workers N]
+    make bench-fabric
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as platform_mod
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.figures import get_figure_spec
+from repro.experiments.runner import run_experiment
+from repro.fabric import run_sweep
+
+FIGURE = "fig2"
+CHUNK = 2
+
+
+def canonical(result) -> str:
+    doc = result.to_dict()
+    doc.pop("elapsed_seconds", None)
+    return json.dumps(doc, sort_keys=True)
+
+
+def sweep_once(spec, trials: int, seed: int, workers: int, root: Path):
+    start = time.perf_counter()
+    outcome = run_sweep(
+        spec,
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        chunk_size=CHUNK,
+        store=root,
+        lease_ttl=30.0,
+    )
+    return time.perf_counter() - start, outcome
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trials", type=int, default=32, help="trials per cell (default 32)"
+    )
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="the 'N' of workers=N (default: CPU count, at least 2)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_fabric.json",
+        help="output JSON path (default: repo-root BENCH_fabric.json)",
+    )
+    args = parser.parse_args(argv)
+    n = args.workers or max(os.cpu_count() or 1, 2)
+
+    spec = get_figure_spec(FIGURE)
+    print(
+        f"benchmarking sweep fabric: {FIGURE}, {args.trials} trials/cell, "
+        f"chunk={CHUNK}, workers 1 vs {n}"
+    )
+
+    start = time.perf_counter()
+    baseline = run_experiment(
+        spec, trials=args.trials, seed=args.seed, jobs=1, chunk_size=CHUNK
+    )
+    single_s = time.perf_counter() - start
+    reference = canonical(baseline)
+    print(f"single-process baseline:  {single_s:.3f} s")
+
+    rows = {}
+    failures = []
+    for label, workers in (("workers_1", 1), (f"workers_{n}", n)):
+        with tempfile.TemporaryDirectory(prefix="bench-fabric-") as tmp:
+            elapsed, outcome = sweep_once(
+                spec, args.trials, args.seed, workers, Path(tmp) / "store"
+            )
+        report = outcome.report
+        throughput = report.units / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"fabric {label.replace('_', '='):>12}: {elapsed:.3f} s "
+            f"({report.units} units, {throughput:.1f} units/s, "
+            f"{report.reissues} re-issued)"
+        )
+        if canonical(outcome.result) != reference:
+            failures.append(f"{label} result differs from the baseline")
+        if report.completions + report.prestored_units != report.units:
+            failures.append(f"{label} left units unfinished")
+        rows[label] = {
+            "workers": workers,
+            "seconds": round(elapsed, 6),
+            "units": report.units,
+            "units_per_second": round(throughput, 4),
+            "leases": report.leases,
+            "reissues": report.reissues,
+        }
+
+    for failure in failures:
+        print(f"FATAL: {failure}")
+    if failures:
+        return 1
+
+    speedup = rows["workers_1"]["seconds"] / rows[f"workers_{n}"]["seconds"]
+    print(f"workers={n} vs workers=1 speedup: {speedup:.2f}x (recorded, not gated)")
+    doc = {
+        "format": "repro.bench-fabric/1",
+        "figure": FIGURE,
+        "trials_per_cell": args.trials,
+        "seed": args.seed,
+        "chunk_size": CHUNK,
+        "single_process_seconds": round(single_s, 6),
+        "sweeps": rows,
+        "speedup_n_vs_1": round(speedup, 4),
+        "bit_identical": True,
+        "cpu_count": os.cpu_count(),
+        "python": platform_mod.python_version(),
+        "machine": platform_mod.machine(),
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,9 @@
-"""Command-line interfaces (``repro-figures``, ``repro-workload``, ``repro serve``)."""
+"""Command-line interfaces (``repro-figures``, ``repro-workload``,
+``repro serve``, ``repro sweep``, ``repro store``)."""
 
 from .main import build_parser, build_serve_parser, figures_main, main, serve_main
+from .store_tool import build_store_parser, store_main
+from .sweep_tool import build_sweep_parser, sweep_main
 from .workload_tool import build_parser as build_workload_parser
 from .workload_tool import main as workload_main
 
@@ -8,8 +11,12 @@ __all__ = [
     "main",
     "build_parser",
     "build_serve_parser",
+    "build_store_parser",
+    "build_sweep_parser",
     "figures_main",
     "serve_main",
+    "store_main",
+    "sweep_main",
     "workload_main",
     "build_workload_parser",
 ]

@@ -48,7 +48,7 @@ __all__ = [
 #: ``experiment`` is an alias of ``figures`` — the subcommand runs any
 #: experiment (declarative --config documents included), not only the
 #: paper's figures.
-SUBCOMMANDS = ("figures", "experiment", "serve")
+SUBCOMMANDS = ("figures", "experiment", "serve", "sweep", "store")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,9 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Real-Time Systems' (Jonsson, IPPS 1999)."
         ),
         epilog=(
-            "Subcommands: 'figures' (this, the default) and 'serve' "
-            "(online deadline-assignment HTTP service; see "
-            "'python -m repro serve --help')."
+            "Subcommands: 'figures' (this, the default), 'serve' (online "
+            "deadline-assignment HTTP service), 'sweep' (distributed "
+            "multi-worker experiment execution) and 'store' (result-store "
+            "inspection/repair); see 'python -m repro <cmd> --help'."
         ),
     )
     parser.add_argument(
@@ -265,6 +266,14 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from .sweep_tool import sweep_main
+
+        return sweep_main(argv[1:])
+    if argv and argv[0] == "store":
+        from .store_tool import store_main
+
+        return store_main(argv[1:])
     if argv and argv[0] in ("figures", "experiment"):
         argv = argv[1:]
     return figures_main(argv)

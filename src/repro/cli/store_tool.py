@@ -1,0 +1,127 @@
+"""``repro store`` — operator tooling for shared result stores.
+
+Distributed sweeps leave many processes (and hosts) appending to one
+store directory; this subcommand lets an operator inspect and repair
+that store without writing Python::
+
+    repro store stats DIR              # record/byte counts per store
+    repro store verify DIR             # line-level integrity scan
+    repro store compact DIR            # dedupe + drop torn lines
+    repro store compact DIR --max-bytes 10000000   # ...and evict to fit
+
+``verify`` exits non-zero only on *real* corruption (undecodable
+interior lines); torn tails and duplicates are normal post-crash /
+pre-compaction states and are reported without failing, so the command
+can gate cron jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import ReproError
+from ..store import TrialStore
+
+__all__ = ["build_store_parser", "store_main"]
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description=(
+            "Inspect and repair a persistent result store "
+            "(the --cache / --store directory of sweeps and the service)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    stats = sub.add_parser("stats", help="record and byte counts")
+    stats.add_argument("root", type=Path, help="store directory")
+
+    verify = sub.add_parser("verify", help="line-level integrity scan")
+    verify.add_argument("root", type=Path, help="store directory")
+
+    compact = sub.add_parser(
+        "compact",
+        help="rewrite segments deduplicated; optionally evict to a budget",
+    )
+    compact.add_argument("root", type=Path, help="store directory")
+    compact.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict oldest records until the store fits in N bytes",
+    )
+    return parser
+
+
+def _open(root: Path) -> TrialStore:
+    if not (root / "MANIFEST.json").exists():
+        raise ReproError(
+            f"{root} is not a result store (no MANIFEST.json); "
+            "refusing to create one implicitly"
+        )
+    return TrialStore(root)
+
+
+def store_main(argv: list[str] | None = None) -> int:
+    args = build_store_parser().parse_args(argv)
+    try:
+        store = _open(args.root)
+        if args.action == "stats":
+            report = store.verify()
+            print(f"store: {args.root}")
+            print(
+                f"  {report['unique']} unique records in "
+                f"{report['shards']} segment(s), "
+                f"{report['bytes'] / 1024:.1f} KiB"
+            )
+            overhead = (
+                report["duplicates"] + report["torn"] + report["invalid"]
+            )
+            if overhead:
+                print(
+                    f"  {report['duplicates']} duplicate / "
+                    f"{report['torn']} torn / {report['invalid']} invalid "
+                    "line(s) — 'repro store compact' reclaims them"
+                )
+            return 0
+        if args.action == "verify":
+            report = store.verify()
+            for field in (
+                "shards",
+                "bytes",
+                "records",
+                "unique",
+                "duplicates",
+                "misplaced",
+                "torn",
+                "invalid",
+            ):
+                print(f"{field:12s} {report[field]}")
+            if report["invalid"] or report["misplaced"]:
+                print(
+                    "CORRUPT: store has invalid or misplaced records",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
+        # compact
+        before = store.total_bytes()
+        evicted = store.compact(max_bytes=args.max_bytes)
+        after = store.total_bytes()
+        print(
+            f"compacted {args.root}: {before} -> {after} bytes "
+            f"({evicted} record(s) evicted)"
+        )
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(store_main())

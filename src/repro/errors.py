@@ -23,6 +23,7 @@ __all__ = [
     "SerializationError",
     "ServiceOverloadError",
     "StoreError",
+    "FabricError",
 ]
 
 
@@ -96,3 +97,7 @@ class ServiceOverloadError(ReproError):
 
 class StoreError(ReproError):
     """The persistent result store is malformed or was misused."""
+
+
+class FabricError(ReproError):
+    """The distributed sweep fabric (queue, lease, transport) failed."""

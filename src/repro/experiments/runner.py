@@ -572,6 +572,37 @@ def _collect(futures, what: str = "cell"):
     return out
 
 
+def _run_pool(max_workers: int, tasks, what: str):
+    """Run ``(key, args)`` tasks on a process pool, interrupt-safely.
+
+    ``tasks`` yields ``(key, callable, args)``; returns ``_collect``'s
+    ``(key, result)`` list.  The happy path is a plain submit/drain.
+    On *any* teardown — KeyboardInterrupt first among them — queued
+    futures are cancelled and the worker processes terminated instead
+    of the default ``shutdown(wait=True)``, which would keep computing
+    every queued unit after Ctrl-C and strand the user.  Discarding
+    running work is safe: results only reach the caller (and any
+    result store) after a future completes in-parent.
+    """
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        futures = [(key, pool.submit(fn, *args)) for key, fn, args in tasks]
+        out = _collect(futures, what=what)
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        # shutdown() only stops *queued* work; in-flight chunks would
+        # still run to completion (and block interpreter exit joining
+        # them).  Terminate the workers so Ctrl-C means now.
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except (OSError, AttributeError):  # already reaped
+                pass
+        raise
+    pool.shutdown(wait=True)
+    return out
+
+
 def _run_percell_units(
     spec: ExperimentSpec,
     trials: int,
@@ -610,13 +641,11 @@ def _run_percell_units(
                 _key, config, seeds = units[i]
                 results[i] = run_cell(config, seeds)
         else:
-            with ProcessPoolExecutor(
-                max_workers=_resolve_jobs(jobs, len(pending))
-            ) as pool:
-                fresh = _collect(
-                    (i, pool.submit(run_cell, units[i][1], units[i][2]))
-                    for i in pending
-                )
+            fresh = _run_pool(
+                _resolve_jobs(jobs, len(pending)),
+                ((i, run_cell, (units[i][1], units[i][2])) for i in pending),
+                what="cell",
+            )
             for i, cell in fresh:
                 results[i] = cell
         if store is not None:
@@ -685,21 +714,14 @@ def _run_paired_units(
                 for u, cells, seeds in dispatch
             ]
         else:
-            with ProcessPoolExecutor(
-                max_workers=_resolve_jobs(jobs, len(dispatch))
-            ) as pool:
-                batches = _collect(
-                    (
-                        (
-                            u,
-                            pool.submit(
-                                run_paired_cells, cells, seeds, use_kernel
-                            ),
-                        )
-                        for u, cells, seeds in dispatch
-                    ),
-                    what="sweep-point unit",
-                )
+            batches = _run_pool(
+                _resolve_jobs(jobs, len(dispatch)),
+                (
+                    (u, run_paired_cells, (cells, seeds, use_kernel))
+                    for u, cells, seeds in dispatch
+                ),
+                what="sweep-point unit",
+            )
         records: list[tuple[str, dict[str, Any]]] = []
         for u, partials in batches:
             for si, cell in partials:

@@ -83,6 +83,37 @@ class TrialConfig:
             "locality": self.locality,
         }
 
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "TrialConfig":
+        """Inverse of :meth:`to_dict`, an exact round-trip.
+
+        The fabric's HTTP transport ships configs as these documents;
+        a round-tripped config must produce byte-identical canonical
+        JSON (and therefore the same store keys), which holds because
+        JSON floats decode to the same float64 they encoded.
+        """
+        try:
+            adaptive = doc["adaptive"]
+            return cls(
+                workload=WorkloadParams.from_dict(doc["workload"]),
+                metric=doc["metric"],
+                estimator=doc["estimator"],
+                adaptive=AdaptiveParams(
+                    k_g=adaptive["k_g"],
+                    k_l=adaptive["k_l"],
+                    c_thres=adaptive["c_thres"],
+                    c_thres_factor=adaptive["c_thres_factor"],
+                ),
+                contention_bus=bool(doc["contention_bus"]),
+                scheduler=doc["scheduler"],
+                measure_lateness=bool(doc["measure_lateness"]),
+                locality=doc["locality"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(
+                f"malformed trial-config document: {exc}"
+            ) from exc
+
 
 @dataclass(frozen=True)
 class TrialOutcome:

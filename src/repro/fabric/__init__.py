@@ -1,0 +1,56 @@
+"""Distributed sweep fabric: coordinator/worker execution over the store.
+
+The experiment grid (metric × estimator × platform × CCR × load) is
+embarrassingly parallel in content-addressed ``(cell, seed-chunk)``
+units; this package turns those units into a durable work queue and
+fans them out — across processes on one host (``repro sweep --workers
+N``) or across hosts over HTTP (``repro sweep --serve`` + ``repro
+sweep --connect URL``) — with lease/heartbeat crash recovery, work
+stealing, resumable manifests, and a merge that is bit-identical to a
+single-process :func:`~repro.experiments.runner.run_experiment`.
+
+Layering: :mod:`.units` (what to compute), :mod:`.queue` (who computes
+it, durably), :mod:`.transport`/:mod:`.endpoint` (how workers reach
+the queue and the store), :mod:`.worker` (the drain loop),
+:mod:`.coordinator` (shard → execute → merge).
+"""
+
+from .coordinator import (
+    FabricCoordinator,
+    SweepOutcome,
+    SweepReport,
+    run_sweep,
+)
+from .endpoint import FabricEndpoint
+from .queue import QueueSnapshot, WorkQueue
+from .transport import HTTPTransport, LocalTransport
+from .units import (
+    WorkUnit,
+    compute_unit,
+    extract_units,
+    sweep_id,
+    unit_from_dict,
+    unit_is_stored,
+    unit_to_dict,
+)
+from .worker import worker_loop
+
+__all__ = [
+    "run_sweep",
+    "SweepOutcome",
+    "SweepReport",
+    "FabricCoordinator",
+    "FabricEndpoint",
+    "WorkQueue",
+    "QueueSnapshot",
+    "LocalTransport",
+    "HTTPTransport",
+    "worker_loop",
+    "WorkUnit",
+    "extract_units",
+    "sweep_id",
+    "unit_to_dict",
+    "unit_from_dict",
+    "unit_is_stored",
+    "compute_unit",
+]

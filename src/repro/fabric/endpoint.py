@@ -1,0 +1,166 @@
+"""HTTP face of the fabric: lease/commit endpoints for remote workers.
+
+Mounted on the :mod:`repro.service` front end (``create_server(...,
+fabric=endpoint)``), this turns the coordinator's store directory into
+a *served store*: remote workers never see the filesystem — they pull
+unit payloads from ``POST /fabric/lease`` and push result records to
+``POST /fabric/complete``, and the endpoint appends them to the shared
+:class:`~repro.store.TrialStore` on their behalf.
+
+Routes (JSON in/out, errors as ``{"error": ...}`` with 4xx):
+
+==========================  ==========================================
+``POST /fabric/lease``      ``{worker, ttl?}`` → ``{unit, finished}``
+``POST /fabric/complete``   ``{worker, unit, records}`` → ``{done}``
+``POST /fabric/heartbeat``  ``{worker, ttl?}`` → ``{extended}``
+``POST /fabric/release``    ``{worker, unit}`` → ``{}``
+``GET  /fabric/status``     → queue snapshot (counts, workers, finished)
+==========================  ==========================================
+
+Integrity: a completion may only commit records whose keys belong to
+the named unit (each unit's key set is fixed at extraction), so a
+confused or malicious worker cannot poison unrelated store entries;
+values are committed verbatim — content addressing makes a wrong value
+under a right key detectable only by recompute, which is why keys are
+derived server-side, never trusted from the wire.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..errors import FabricError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .coordinator import FabricCoordinator
+
+__all__ = ["FabricEndpoint"]
+
+#: Bounds on worker-supplied lease TTLs (seconds): long enough for a
+#: slow unit between heartbeats, short enough that a dead worker's
+#: units come back promptly.
+_MIN_TTL, _MAX_TTL = 0.1, 3600.0
+
+
+class FabricEndpoint:
+    """Request handlers for ``/fabric/*`` over one coordinator's sweep."""
+
+    def __init__(
+        self, coordinator: "FabricCoordinator", *, metrics: Any = None
+    ) -> None:
+        self.coordinator = coordinator
+        self.queue = coordinator.queue
+        self.store = coordinator.store
+        self._unit_docs: dict[str, dict[str, Any]] = {}
+        self._unit_keys: dict[str, frozenset[str]] = {}
+        from .units import unit_to_dict
+
+        for unit in coordinator.units:
+            self._unit_docs[unit.unit_id] = unit_to_dict(unit)
+            self._unit_keys[unit.unit_id] = frozenset(unit.keys)
+        self.metrics = metrics
+        if metrics is not None and hasattr(
+            metrics, "set_fabric_status_provider"
+        ):
+            metrics.set_fabric_status_provider(self.queue.snapshot)
+
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, path: str, doc: Any
+    ) -> tuple[int, dict[str, Any]]:
+        """Dispatch one ``/fabric/*`` request; returns (status, body).
+
+        :class:`FabricError` means a bad request (the HTTP layer maps
+        it to 400); unknown routes return 404 here so the front end
+        stays route-agnostic.
+        """
+        if method == "GET" and path == "/fabric/status":
+            return 200, self.queue.snapshot().to_dict()
+        if method == "POST" and path == "/fabric/lease":
+            return self._lease(self._as_doc(doc))
+        if method == "POST" and path == "/fabric/complete":
+            return self._complete(self._as_doc(doc))
+        if method == "POST" and path == "/fabric/heartbeat":
+            return self._heartbeat(self._as_doc(doc))
+        if method == "POST" and path == "/fabric/release":
+            return self._release(self._as_doc(doc))
+        return 404, {"error": f"unknown fabric route {method} {path}"}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_doc(doc: Any) -> dict[str, Any]:
+        if not isinstance(doc, dict):
+            raise FabricError("fabric request body must be a JSON object")
+        return doc
+
+    @staticmethod
+    def _worker_of(doc: dict[str, Any]) -> str:
+        worker = doc.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise FabricError("request needs a non-empty 'worker' id")
+        return worker
+
+    def _ttl_of(self, doc: dict[str, Any]) -> float:
+        ttl = doc.get("ttl", self.coordinator.lease_ttl)
+        try:
+            ttl = float(ttl)
+        except (TypeError, ValueError):
+            raise FabricError(f"bad lease ttl {ttl!r}") from None
+        return min(max(ttl, _MIN_TTL), _MAX_TTL)
+
+    # ------------------------------------------------------------------
+    def _lease(self, doc: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        worker = self._worker_of(doc)
+        ttl = self._ttl_of(doc)
+        unit_id = self.queue.lease(worker, ttl)
+        if unit_id is None:
+            return 200, {"unit": None, "finished": self.queue.finished()}
+        if self.metrics is not None:
+            self.metrics.fabric_leases.inc(worker=worker)
+        return 200, {"unit": self._unit_docs[unit_id], "finished": False}
+
+    def _complete(self, doc: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        worker = self._worker_of(doc)
+        unit_id = doc.get("unit")
+        allowed = self._unit_keys.get(unit_id or "")
+        if allowed is None:
+            raise FabricError(f"unknown unit {str(unit_id)[:12]!r}...")
+        raw = doc.get("records", [])
+        if not isinstance(raw, list):
+            raise FabricError("'records' must be a list of [key, value]")
+        records: list[tuple[str, Any]] = []
+        for entry in raw:
+            if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
+                raise FabricError("'records' must be a list of [key, value]")
+            key, value = entry
+            if key not in allowed:
+                raise FabricError(
+                    f"record key {str(key)[:12]!r}... does not belong to "
+                    f"unit {str(unit_id)[:12]}..."
+                )
+            records.append((key, value))
+        appended = self.store.put_many(records)
+        transition = self.queue.complete(worker, unit_id)
+        if self.metrics is not None:
+            if transition:
+                self.metrics.fabric_completions.inc()
+            if appended:
+                self.metrics.fabric_records.inc(appended)
+        return 200, {
+            "done": transition,
+            "appended": appended,
+            "finished": self.queue.finished(),
+        }
+
+    def _heartbeat(self, doc: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        worker = self._worker_of(doc)
+        extended = self.queue.heartbeat(worker, self._ttl_of(doc))
+        return 200, {"extended": extended}
+
+    def _release(self, doc: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        worker = self._worker_of(doc)
+        unit_id = doc.get("unit")
+        if unit_id not in self._unit_keys:
+            raise FabricError(f"unknown unit {str(unit_id)[:12]!r}...")
+        self.queue.release(worker, unit_id)
+        return 200, {}

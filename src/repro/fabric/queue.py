@@ -1,0 +1,331 @@
+"""Durable work queue: the sweep fabric's coordinator-owned state.
+
+One sweep's execution state lives in a small directory next to the
+trial store::
+
+    <store>/fabric/<sweep12>/
+      MANIFEST.json     # unit states (atomic rename, see below)
+      UNITS.json        # the unit payloads (written once, read-only)
+      .lock             # cross-process FileLock guarding MANIFEST.json
+
+``MANIFEST.json`` maps every unit id to its state machine::
+
+    pending ──lease──▶ leased ──complete──▶ done
+       ▲                 │
+       └──expiry/steal───┘   (attempts += 1, reissues += 1)
+
+Every mutation is a read-modify-write of the whole document under the
+same :class:`~repro.store.FileLock` tier the store uses, committed via
+temp-file + ``os.replace`` — concurrent workers (processes on one
+host, or the coordinator's HTTP endpoint serving remote ones) each see
+a consistent manifest and never tear it.  A worker holds a *lease*
+with an expiry timestamp; :meth:`WorkQueue.heartbeat` extends it, and
+a lease whose expiry passes (the holder was SIGKILLed, wedged, or
+partitioned) becomes stealable: the next idle worker's
+:meth:`WorkQueue.lease` re-issues it.  Completions are idempotent —
+a stolen unit completed by both the thief and a resurrected original
+holder counts once, and the records they commit are content-addressed
+so double commits are no-ops.
+
+Resume: re-creating a queue over an existing manifest with the same
+sweep id keeps every ``done`` unit (nothing is recomputed) and leaves
+live leases to expire naturally; a different sweep id is an error —
+sweep directories are keyed by the sweep's content address, so this
+only happens when state is corrupted or mixed by hand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from ..errors import FabricError
+from ..store import FileLock
+
+__all__ = ["WorkQueue", "QueueSnapshot", "QUEUE_FORMAT"]
+
+QUEUE_FORMAT = "repro.fabric-queue/1"
+
+_STATES = ("pending", "leased", "done")
+
+
+@dataclass(frozen=True)
+class QueueSnapshot:
+    """Point-in-time counts of one queue (the observability surface)."""
+
+    sweep: str
+    pending: int
+    leased: int
+    done: int
+    leases: int
+    completions: int
+    reissues: int
+    #: worker id → last heartbeat/lease timestamp (queue clock).
+    workers: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.pending + self.leased + self.done
+
+    @property
+    def finished(self) -> bool:
+        return self.total > 0 and self.done == self.total
+
+    def live_workers(self, now: float, window: float) -> int:
+        """Workers heard from within *window* seconds of *now*."""
+        return sum(1 for seen in self.workers.values() if now - seen <= window)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "sweep": self.sweep,
+            "pending": self.pending,
+            "leased": self.leased,
+            "done": self.done,
+            "total": self.total,
+            "finished": self.finished,
+            "leases": self.leases,
+            "completions": self.completions,
+            "reissues": self.reissues,
+            "workers": dict(self.workers),
+        }
+
+
+class WorkQueue:
+    """Durable, multi-process work queue over one sweep's units.
+
+    Every operation re-reads the manifest under the file lock, so any
+    number of worker processes (and the coordinator) can share one
+    queue directory; there is no in-memory authoritative copy.
+    ``clock`` is injectable for tests — both ends of a lease comparison
+    go through it.
+    """
+
+    def __init__(
+        self, root: str | Path, *, clock: Callable[[], float] = time.time
+    ) -> None:
+        self.root = Path(root)
+        self.path = self.root / "MANIFEST.json"
+        self._lock = FileLock(self.root / ".lock")
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # Creation / load
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        sweep: str,
+        unit_ids: Iterable[str],
+        *,
+        done: Iterable[str] = (),
+        clock: Callable[[], float] = time.time,
+    ) -> "WorkQueue":
+        """Create (or resume) the queue for *sweep* in *root*.
+
+        *done* pre-marks units whose results already sit in the store —
+        the warm-start path.  On resume (an existing manifest with the
+        same sweep id), previously ``done`` units stay done and leases
+        are left to expire; pre-marked done units are unioned in.
+        """
+        queue = cls(root, clock=clock)
+        queue.root.mkdir(parents=True, exist_ok=True)
+        ids = list(unit_ids)
+        if len(set(ids)) != len(ids):
+            raise FabricError("duplicate unit ids in sweep")
+        done_set = set(done)
+        unknown = done_set - set(ids)
+        if unknown:
+            raise FabricError(
+                f"{len(unknown)} pre-done unit(s) not in the sweep"
+            )
+        with queue._lock:
+            existing = queue._load_locked(missing_ok=True)
+            if existing is not None:
+                if existing.get("sweep") != sweep:
+                    raise FabricError(
+                        f"queue at {queue.root} belongs to sweep "
+                        f"{str(existing.get('sweep'))[:12]}..., not "
+                        f"{sweep[:12]}..."
+                    )
+                units = existing["units"]
+                if set(units) != set(ids):
+                    raise FabricError(
+                        f"queue at {queue.root} has a different unit set "
+                        "than this sweep (corrupt manifest?)"
+                    )
+                for uid in done_set:
+                    entry = units[uid]
+                    if entry["state"] != "done":
+                        entry.update(state="done", worker=None, expires=0.0)
+                queue._write_locked(existing)
+                return queue
+            doc = {
+                "format": QUEUE_FORMAT,
+                "sweep": sweep,
+                "units": {
+                    uid: {
+                        "state": "done" if uid in done_set else "pending",
+                        "worker": None,
+                        "expires": 0.0,
+                        "attempts": 0,
+                    }
+                    for uid in ids
+                },
+                "leases": 0,
+                "completions": 0,
+                "reissues": 0,
+                "workers": {},
+            }
+            queue._write_locked(doc)
+        return queue
+
+    def _load_locked(self, *, missing_ok: bool = False) -> dict | None:
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            if missing_ok:
+                return None
+            raise FabricError(f"no work queue at {self.root}") from None
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise FabricError(
+                f"unreadable queue manifest {self.path}: {exc}"
+            ) from exc
+        if doc.get("format") != QUEUE_FORMAT:
+            raise FabricError(
+                f"queue manifest {self.path} has format "
+                f"{doc.get('format')!r}; this code reads {QUEUE_FORMAT!r}"
+            )
+        return doc
+
+    def _write_locked(self, doc: dict) -> None:
+        tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, indent=1) + "\n")
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+    # Worker operations
+    # ------------------------------------------------------------------
+    def lease(self, worker: str, ttl: float) -> str | None:
+        """Lease one unit to *worker* for *ttl* seconds; ``None`` if none.
+
+        Pending units go first (FIFO in manifest order); with none
+        left, the oldest *expired* lease is stolen and re-issued.  A
+        ``None`` return does not mean the sweep is finished — live
+        leases may still fail and come back; pair it with
+        :meth:`snapshot` (see the worker loop).
+        """
+        now = self._clock()
+        with self._lock:
+            doc = self._load_locked()
+            units = doc["units"]
+            chosen = None
+            stolen = False
+            for uid, entry in units.items():
+                if entry["state"] == "pending":
+                    chosen = uid
+                    break
+            if chosen is None:
+                best_expiry = None
+                for uid, entry in units.items():
+                    if entry["state"] == "leased" and entry["expires"] <= now:
+                        if best_expiry is None or entry["expires"] < best_expiry:
+                            chosen, best_expiry = uid, entry["expires"]
+                stolen = chosen is not None
+            doc["workers"][worker] = now
+            if chosen is None:
+                self._write_locked(doc)
+                return None
+            entry = units[chosen]
+            entry.update(
+                state="leased",
+                worker=worker,
+                expires=now + ttl,
+                attempts=entry["attempts"] + 1,
+            )
+            doc["leases"] += 1
+            if stolen:
+                doc["reissues"] += 1
+            self._write_locked(doc)
+            return chosen
+
+    def heartbeat(self, worker: str, ttl: float) -> int:
+        """Extend every lease *worker* holds by *ttl*; returns how many."""
+        now = self._clock()
+        extended = 0
+        with self._lock:
+            doc = self._load_locked()
+            for entry in doc["units"].values():
+                if entry["state"] == "leased" and entry["worker"] == worker:
+                    entry["expires"] = now + ttl
+                    extended += 1
+            doc["workers"][worker] = now
+            self._write_locked(doc)
+        return extended
+
+    def complete(self, worker: str, unit_id: str) -> bool:
+        """Mark *unit_id* done.  Idempotent; returns True on transition.
+
+        Accepted from any worker, lease or not: the unit's records are
+        content-addressed, so whoever computed them computed *the*
+        records — a thief and a slow original holder completing the
+        same unit is the expected race, not an error.
+        """
+        now = self._clock()
+        with self._lock:
+            doc = self._load_locked()
+            try:
+                entry = doc["units"][unit_id]
+            except KeyError:
+                raise FabricError(
+                    f"unknown unit {unit_id[:12]}... completed by {worker!r}"
+                ) from None
+            transition = entry["state"] != "done"
+            if transition:
+                entry.update(state="done", worker=None, expires=0.0)
+                doc["completions"] += 1
+            doc["workers"][worker] = now
+            self._write_locked(doc)
+            return transition
+
+    def release(self, worker: str, unit_id: str) -> None:
+        """Return a leased unit to pending (worker bailing out cleanly)."""
+        with self._lock:
+            doc = self._load_locked()
+            entry = doc["units"].get(unit_id)
+            if (
+                entry is not None
+                and entry["state"] == "leased"
+                and entry["worker"] == worker
+            ):
+                entry.update(state="pending", worker=None, expires=0.0)
+                self._write_locked(doc)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def snapshot(self) -> QueueSnapshot:
+        with self._lock:
+            doc = self._load_locked()
+        counts = {state: 0 for state in _STATES}
+        for entry in doc["units"].values():
+            counts[entry["state"]] += 1
+        return QueueSnapshot(
+            sweep=doc["sweep"],
+            pending=counts["pending"],
+            leased=counts["leased"],
+            done=counts["done"],
+            leases=doc["leases"],
+            completions=doc["completions"],
+            reissues=doc["reissues"],
+            workers=dict(doc["workers"]),
+        )
+
+    def finished(self) -> bool:
+        return self.snapshot().finished

@@ -1,0 +1,132 @@
+"""The fabric worker loop: lease → compute → commit, until the sweep ends.
+
+Transport-agnostic (see :mod:`repro.fabric.transport`): the same loop
+drives a local worker process sharing the coordinator's store directory
+and a remote worker pulling leases over HTTP.  Liveness protocol:
+
+* while computing a unit, a daemon thread heartbeats at a third of the
+  lease TTL, so slow units never expire out from under a live worker;
+* a worker that dies silently (SIGKILL, OOM, power) simply stops
+  heartbeating — its leases expire and other workers steal them;
+* a worker that *fails* computing a unit releases the lease explicitly
+  (no TTL wait) and re-raises, so a poisoned unit surfaces instead of
+  bouncing between workers forever;
+* an idle worker (no leasable unit, sweep unfinished) naps ``poll``
+  seconds and retries — this is where stolen work comes from.
+
+Workers exit when the queue reports the sweep finished.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Protocol
+
+from .units import WorkUnit, compute_unit
+
+__all__ = ["worker_loop", "local_worker_entry"]
+
+
+class Transport(Protocol):  # pragma: no cover - typing aid
+    def lease(self, worker: str, ttl: float) -> WorkUnit | None: ...
+    def heartbeat(self, worker: str, ttl: float) -> None: ...
+    def stored(self, unit: WorkUnit) -> bool: ...
+    def complete(
+        self, worker: str, unit: WorkUnit, records: list[tuple[str, Any]]
+    ) -> None: ...
+    def release(self, worker: str, unit: WorkUnit) -> None: ...
+    def finished(self) -> bool: ...
+
+
+class _Heartbeat:
+    """Daemon thread renewing one worker's leases while it computes."""
+
+    def __init__(self, transport: Transport, worker: str, ttl: float) -> None:
+        self._transport = transport
+        self._worker = worker
+        self._ttl = ttl
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        interval = max(self._ttl / 3.0, 0.05)
+        while not self._stop.wait(interval):
+            try:
+                self._transport.heartbeat(self._worker, self._ttl)
+            except Exception:  # noqa: BLE001 - heartbeat is best-effort
+                return  # the lease will expire and be re-issued
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
+def worker_loop(
+    transport: Transport,
+    worker: str,
+    *,
+    lease_ttl: float = 30.0,
+    poll: float = 0.2,
+    use_kernel: bool | None = None,
+    max_units: int | None = None,
+) -> int:
+    """Drain the sweep through *transport*; returns units completed.
+
+    ``max_units`` bounds this worker's share (tests and canary runs);
+    the loop otherwise runs until :meth:`Transport.finished`.
+    """
+    completed = 0
+    while max_units is None or completed < max_units:
+        unit = transport.lease(worker, lease_ttl)
+        if unit is None:
+            if transport.finished():
+                break
+            time.sleep(poll)
+            continue
+        try:
+            with _Heartbeat(transport, worker, lease_ttl):
+                # A re-issued unit whose records already landed (the
+                # holder died after commit, before the done mark) is
+                # completed without recomputation.
+                records: list[tuple[str, Any]] = []
+                if not transport.stored(unit):
+                    records = compute_unit(unit, use_kernel)
+            transport.complete(worker, unit, records)
+        except BaseException:
+            try:
+                transport.release(worker, unit)
+            except Exception:  # noqa: BLE001 - the lease expires anyway
+                pass
+            raise
+        completed += 1
+    return completed
+
+
+def local_worker_entry(
+    store_root: str,
+    fabric_root: str,
+    worker: str,
+    lease_ttl: float,
+    poll: float,
+) -> None:
+    """Process entry point of one ``repro sweep --workers N`` worker.
+
+    Spawn-safe: arguments are plain strings/floats, every object is
+    reconstructed here.  The kernel on/off choice deliberately defers
+    to the ``REPRO_KERNEL`` environment the worker inherited, exactly
+    like a single-process run's pool workers.
+    """
+    from .transport import LocalTransport
+
+    transport = LocalTransport(store_root, fabric_root)
+    try:
+        worker_loop(
+            transport, worker, lease_ttl=lease_ttl, poll=poll
+        )
+    finally:
+        transport.close()

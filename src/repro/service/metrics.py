@@ -198,6 +198,19 @@ class ServiceMetrics:
             "repro_overload_rejections_total",
             "Requests shed with 429 because the work queue was full.",
         )
+        self.fabric_leases = Counter(
+            "repro_fabric_leases_total",
+            "Sweep-fabric work-unit leases issued, by worker.",
+        )
+        self.fabric_completions = Counter(
+            "repro_fabric_completions_total",
+            "Sweep-fabric work units completed (first completion only).",
+        )
+        self.fabric_records = Counter(
+            "repro_fabric_records_total",
+            "Result records committed to the store through the fabric "
+            "endpoint.",
+        )
         self.assign_latency = LatencySummary(
             "repro_assign_latency_seconds",
             "End-to-end POST /assign service latency.",
@@ -208,6 +221,54 @@ class ServiceMetrics:
         # time, so the repro_store_* series always reflect the store's
         # own exact counters instead of a shadow count.
         self._store_stats_provider = None
+        self._fabric_status_provider = None
+
+    def set_fabric_status_provider(self, provider) -> None:
+        """Register a zero-arg callable returning a ``QueueSnapshot``.
+
+        Rendered as ``repro_fabric_units{state=...}`` gauges plus
+        re-issue/worker-liveness series on every ``/metrics`` scrape
+        (set by the sweep coordinator's HTTP endpoint); pass ``None``
+        to detach.
+        """
+        self._fabric_status_provider = provider
+
+    def _render_fabric(self) -> list[str]:
+        provider = self._fabric_status_provider
+        if provider is None:
+            return []
+        snapshot = provider()
+        lines = [
+            "# HELP repro_fabric_units Sweep work units by state.",
+            "# TYPE repro_fabric_units gauge",
+        ]
+        for state, value in (
+            ("pending", snapshot.pending),
+            ("leased", snapshot.leased),
+            ("done", snapshot.done),
+        ):
+            lines.append(
+                f'repro_fabric_units{{state="{state}"}} '
+                f"{_format_value(value)}"
+            )
+        lines.extend(
+            [
+                "# HELP repro_fabric_reissues_total Expired leases "
+                "re-issued to other workers (work stealing).",
+                "# TYPE repro_fabric_reissues_total counter",
+                f"repro_fabric_reissues_total "
+                f"{_format_value(snapshot.reissues)}",
+                "# HELP repro_fabric_workers Workers that have ever "
+                "contacted this sweep's queue.",
+                "# TYPE repro_fabric_workers gauge",
+                f"repro_fabric_workers {_format_value(len(snapshot.workers))}",
+                "# HELP repro_fabric_finished Whether every unit of the "
+                "sweep is done (0/1).",
+                "# TYPE repro_fabric_finished gauge",
+                f"repro_fabric_finished {int(snapshot.finished)}",
+            ]
+        )
+        return lines
 
     def set_store_stats_provider(self, provider) -> None:
         """Register a zero-arg callable returning a ``StoreStats``.
@@ -293,6 +354,9 @@ class ServiceMetrics:
             self.errors,
             self.singleflight_waits,
             self.overloads,
+            self.fabric_leases,
+            self.fabric_completions,
+            self.fabric_records,
         ):
             lines.extend(counter.render())
         lines.extend(
@@ -304,6 +368,7 @@ class ServiceMetrics:
             ]
         )
         lines.extend(self._render_store())
+        lines.extend(self._render_fabric())
         lines.extend(self.assign_latency.render())
         return "\n".join(lines) + "\n"
 

@@ -335,10 +335,15 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         service: DeadlineAssignmentService,
         *,
         retry_after: int = 1,
+        fabric: Any = None,
     ) -> None:
         super().__init__(address, _ServiceRequestHandler)
         self.service = service
         self.retry_after = retry_after
+        #: Optional sweep-fabric endpoint (see :mod:`repro.fabric`):
+        #: when set, ``/fabric/*`` requests are dispatched to its
+        #: ``handle(method, path, doc)``; when ``None`` they 404.
+        self.fabric = fabric
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -352,6 +357,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
             self._send_json(200, {"status": "ok"}, endpoint="healthz")
+        elif self.path.startswith("/fabric/"):
+            self._handle_fabric("GET", None)
         elif self.path == "/metrics":
             body = self.server.service.metrics.render().encode()
             self.server.service.metrics.requests.inc(
@@ -404,7 +411,58 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 return
             length -= len(chunk)
 
+    def _handle_fabric(self, method: str, doc: Any) -> None:
+        """Dispatch one ``/fabric/*`` request to the mounted endpoint.
+
+        The endpoint object is duck-typed (``handle(method, path, doc)
+        -> (status, body)``) so the service layer does not import
+        :mod:`repro.fabric`; errors map exactly like ``/assign``'s:
+        :class:`ReproError` → 400, anything else → 500.
+        """
+        service = self.server.service
+        fabric = self.server.fabric
+        if fabric is None:
+            self._send_json(
+                404,
+                {"error": "no sweep fabric mounted on this server"},
+                endpoint="fabric",
+            )
+            return
+        try:
+            status, reply = fabric.handle(method, self.path, doc)
+        except ReproError as exc:
+            service.metrics.errors.inc(kind=type(exc).__name__)
+            self._send_json(
+                400,
+                {"error": str(exc), "kind": type(exc).__name__},
+                endpoint="fabric",
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            service.metrics.errors.inc(kind="internal")
+            self._send_json(
+                500, {"error": f"internal error: {exc}"}, endpoint="fabric"
+            )
+            return
+        self._send_json(status, reply, endpoint="fabric")
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.startswith("/fabric/"):
+            service = self.server.service
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = self.rfile.read(length)
+                data = json.loads(body.decode() or "null")
+            except (ValueError, UnicodeDecodeError) as exc:
+                service.metrics.errors.inc(kind="bad_json")
+                self._send_json(
+                    400,
+                    {"error": f"request body is not valid JSON: {exc}"},
+                    endpoint="fabric",
+                )
+                return
+            self._handle_fabric("POST", data)
+            return
         if self.path != "/assign":
             # Read the body we are not going to use *before* replying,
             # or its bytes desync the next request on this connection.
@@ -504,15 +562,21 @@ def create_server(
     service: DeadlineAssignmentService | None = None,
     *,
     retry_after: int = 1,
+    fabric: Any = None,
 ) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer`; ``port=0`` picks a free port.
 
     ``retry_after`` is the ``Retry-After`` hint (seconds) attached to
-    429 responses when the service sheds load.  The caller owns the
-    lifecycle: ``serve_forever()`` to run, ``shutdown()``/
-    ``server_close()`` to stop, and ``server.service.close()`` to drain
-    the batcher (pass a timeout for a bounded drain).
+    429 responses when the service sheds load.  ``fabric`` mounts a
+    sweep-fabric endpoint (``/fabric/*`` lease/complete/heartbeat/
+    status routes for remote sweep workers — see :mod:`repro.fabric`).
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()``/``server_close()`` to stop, and
+    ``server.service.close()`` to drain the batcher (pass a timeout
+    for a bounded drain).
     """
     if service is None:
         service = DeadlineAssignmentService()
-    return ServiceHTTPServer((host, port), service, retry_after=retry_after)
+    return ServiceHTTPServer(
+        (host, port), service, retry_after=retry_after, fabric=fabric
+    )

@@ -304,15 +304,35 @@ class TrialStore:
                     for k, v in records
                 )
                 encoded = text.encode()
-                with open(self._shard_path(shard), "ab") as fh:
+                path = self._shard_path(shard)
+                # Heal a torn tail before appending: a writer killed
+                # mid-append leaves a partial line with no newline, and
+                # appending straight after it would glue the first new
+                # record onto the garbage — losing that record to every
+                # reader.  A leading newline isolates the torn bytes
+                # into their own (skipped) line instead.
+                size = 0
+                torn_tail = False
+                try:
+                    size = path.stat().st_size
+                except FileNotFoundError:
+                    pass
+                if size > 0:
+                    with open(path, "rb") as fh:
+                        fh.seek(-1, os.SEEK_END)
+                        torn_tail = fh.read(1) != b"\n"
+                with open(path, "ab") as fh:
+                    if torn_tail:
+                        fh.write(b"\n")
                     fh.write(encoded)
                     fh.flush()
                     if self._fsync:
                         os.fsync(fh.fileno())
                 # We held the exclusive lock from refresh through write,
-                # so the bytes between the old offset and EOF are ours.
+                # so everything up to the new EOF is either consumed,
+                # torn garbage, or ours: mark it all consumed.
                 self._offsets[shard] = (
-                    self._offsets.get(shard, 0) + len(encoded)
+                    size + (1 if torn_tail else 0) + len(encoded)
                 )
                 appended += len(records)
             self._appends += appended
@@ -333,6 +353,70 @@ class TrialStore:
         return sum(
             p.stat().st_size for p in self._segments.glob("*.jsonl")
         )
+
+    def verify(self) -> dict[str, int]:
+        """Integrity scan of every segment; returns a counts report.
+
+        Reads the raw segment bytes under the store lock (so no writer
+        is mid-append) and classifies every line:
+
+        * ``records`` — well-formed ``{"k": ..., "v": ...}`` lines;
+        * ``duplicates`` — records whose key appeared earlier (benign:
+          compaction removes them);
+        * ``misplaced`` — records whose key does not match the shard
+          file they sit in (never served; a sign of hand-edited
+          segments);
+        * ``torn`` — an unterminated trailing line (a writer crashed
+          mid-append; healed automatically by the next append, dropped
+          by compaction);
+        * ``invalid`` — undecodable interior lines (real corruption).
+
+        Purely read-only; pair with :meth:`compact` to repair.
+        """
+        report = {
+            "shards": 0,
+            "records": 0,
+            "unique": 0,
+            "duplicates": 0,
+            "misplaced": 0,
+            "torn": 0,
+            "invalid": 0,
+            "bytes": 0,
+        }
+        with self._mutex, self._lock:
+            for shard in self._on_disk_shards():
+                try:
+                    data = self._shard_path(shard).read_bytes()
+                except FileNotFoundError:  # pragma: no cover - racy unlink
+                    continue
+                report["shards"] += 1
+                report["bytes"] += len(data)
+                torn_tail = bool(data) and not data.endswith(b"\n")
+                lines = data.split(b"\n")
+                seen: set[str] = set()
+                for i, line in enumerate(lines):
+                    if not line.strip():
+                        continue
+                    last = i == len(lines) - 1
+                    try:
+                        record = json.loads(line)
+                        key = record["k"]
+                        record["v"]
+                    except (ValueError, KeyError, TypeError):
+                        if last and torn_tail:
+                            report["torn"] += 1
+                        else:
+                            report["invalid"] += 1
+                        continue
+                    report["records"] += 1
+                    if not isinstance(key, str) or not key.startswith(shard):
+                        report["misplaced"] += 1
+                    if key in seen:
+                        report["duplicates"] += 1
+                    else:
+                        seen.add(key)
+                        report["unique"] += 1
+        return report
 
     def compact(self, max_bytes: int | None = None) -> int:
         """Rewrite every segment deduplicated; optionally evict to budget.

@@ -1,0 +1,84 @@
+"""Ctrl-C on a parallel ``run_experiment`` must stop *now*, leak-free.
+
+The historical failure mode: ``with ProcessPoolExecutor(...)`` on
+KeyboardInterrupt runs ``shutdown(wait=True)``, which quietly computes
+every queued unit before letting the interpreter exit — a Ctrl-C that
+keeps burning CPU for minutes.  ``_run_pool`` cancels queued futures
+and terminates the workers instead.  Verified from the outside: a
+child process running a large parallel sweep gets SIGINT (to the child
+alone — its pool workers see nothing, like a real terminal foreground
+process group only delivers to the leader here), and must exit
+promptly, report the interrupt, and leave no worker processes behind.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import repro
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+#: A sweep sized to run for minutes if the interrupt were mishandled:
+#: many queued units on few workers, so cancellation has real work to
+#: discard.  ``RUNNING`` flushes right before the pool spins up.
+_CHILD = textwrap.dedent(
+    """
+    import sys
+    from repro.experiments.figures import get_figure_spec
+    from repro.experiments.runner import run_experiment
+
+    print("RUNNING", flush=True)
+    try:
+        run_experiment(
+            get_figure_spec("fig2"), trials=512, jobs=2, chunk_size=4
+        )
+    except KeyboardInterrupt:
+        print("INTERRUPTED", flush=True)
+        sys.exit(130)
+    print("FINISHED", flush=True)  # must not be reached
+    sys.exit(0)
+    """
+)
+
+
+def test_sigint_cancels_promptly_and_leaks_no_workers():
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _CHILD],
+        stdout=subprocess.PIPE,
+        env={**os.environ, "PYTHONPATH": _SRC},
+        start_new_session=True,  # its pool becomes its own process group
+    )
+    try:
+        assert b"RUNNING" in proc.stdout.readline()
+        time.sleep(2.0)  # let the pool fill with queued futures
+        os.kill(proc.pid, signal.SIGINT)  # the parent only, like a TTY
+        start = time.monotonic()
+        out, _ = proc.communicate(timeout=30)
+        elapsed = time.monotonic() - start
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup path
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait()
+    assert proc.returncode == 130, out
+    assert b"INTERRUPTED" in out and b"FINISHED" not in out
+    # Prompt: worlds apart from the ~minutes the queued units would
+    # take; generous enough for a loaded CI box.
+    assert elapsed < 20.0
+    # No leaked workers: every process of the child's group is gone.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        try:
+            os.killpg(proc.pid, 0)
+        except ProcessLookupError:
+            break  # group fully reaped
+        time.sleep(0.2)
+    else:
+        os.killpg(proc.pid, signal.SIGKILL)  # clean up before failing
+        raise AssertionError("worker processes outlived the interrupt")

@@ -1,0 +1,31 @@
+"""Shared fixtures for the sweep-fabric tests: a tiny fast spec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSpec, TrialConfig
+from repro.workload import WorkloadParams
+
+FAST = WorkloadParams(m=3, n_tasks_range=(12, 16), depth_range=(4, 6))
+
+
+def make_spec(series=("PURE", "ADAPT-L"), x_values=(2, 3)):
+    def config(x, metric):
+        return TrialConfig(
+            workload=FAST.with_overrides(m=int(x)), metric=metric
+        )
+
+    return ExperimentSpec(
+        name="fabric-test",
+        title="fabric test sweep",
+        x_label="m",
+        x_values=x_values,
+        series=series,
+        config_for=config,
+    )
+
+
+@pytest.fixture
+def spec() -> ExperimentSpec:
+    return make_spec()

@@ -1,0 +1,136 @@
+"""Crash recovery: a writer SIGKILLed mid-append must not wedge the store.
+
+The scenario distributed sweeps make routine: a worker process dies
+(SIGKILL — no cleanup handlers) at the worst moment, holding the
+store's cross-process file lock with half a record written and no
+trailing newline.  The store's survival contract, each clause pinned
+here:
+
+* the ``flock`` lock dies with its holder — survivors acquire it
+  without any timeout or manual unlock;
+* the next append *heals* the torn tail (a separating newline) so new
+  records are never glued onto garbage and lost;
+* reads, ``verify()`` and ``compact()`` all treat the torn line as the
+  one casualty — every record committed before the crash survives.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.store import TrialStore
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+#: Child process: grab the store lock, append half a record (no
+#: newline), fsync, report readiness, then hang until SIGKILLed.
+_CRASHER = textwrap.dedent(
+    """
+    import sys, time
+    from repro.store import FileLock
+
+    root = sys.argv[1]
+    lock = FileLock(root + "/.lock")
+    lock.acquire()
+    # A torn append of the record for key "aa...": shard file aa.jsonl.
+    with open(root + "/segments/aa.jsonl", "ab") as fh:
+        fh.write(b'{"key": "aa' + b'x' * 40)  # no newline, half a doc
+        fh.flush()
+    print("TORN", flush=True)
+    time.sleep(600)  # hold the lock until killed
+    """
+)
+
+
+def crash_a_writer(root) -> None:
+    """Run the crasher against *root* and SIGKILL it mid-append."""
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _CRASHER, str(root)],
+        stdout=subprocess.PIPE,
+        env={**os.environ, "PYTHONPATH": _SRC},
+    )
+    try:
+        line = proc.stdout.readline()  # blocks until the torn write
+        assert b"TORN" in line
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        proc.stdout.close()
+        if proc.poll() is None:  # pragma: no cover - cleanup path
+            proc.kill()
+
+
+@pytest.fixture
+def torn_store(tmp_path):
+    """A store with real records whose last writer died mid-append."""
+    store = TrialStore(tmp_path / "s")
+    # "aaaa..." lands in shard aa.jsonl — the one the crasher tears.
+    store.put("aa" * 32, {"v": 1})
+    store.put("bb" * 32, {"v": 2})
+    store.close()
+    crash_a_writer(tmp_path / "s")
+    return tmp_path / "s"
+
+
+class TestCrashRecovery:
+    def test_lock_dies_with_its_holder(self, torn_store):
+        # Re-opening and appending must not block on the dead writer's
+        # lock; a wedged lock would hang far beyond this deadline.
+        start = time.monotonic()
+        store = TrialStore(torn_store)
+        store.put("cc" * 32, {"v": 3})
+        assert time.monotonic() - start < 30.0
+        store.close()
+
+    def test_append_after_torn_tail_loses_no_records(self, torn_store):
+        store = TrialStore(torn_store)
+        # The healed append goes to the *torn* shard: key "aacc..."
+        # shares the "aa" shard with the garbage tail.
+        new_key = "aa" + "cc" * 31
+        store.put(new_key, {"v": 4})
+        assert store.get("aa" * 32) == {"v": 1}  # pre-crash survivor
+        assert store.get(new_key) == {"v": 4}    # post-crash append
+        store.close()
+        # And both survive a cold reload of the segment files.
+        reloaded = TrialStore(torn_store)
+        assert reloaded.get("aa" * 32) == {"v": 1}
+        assert reloaded.get(new_key) == {"v": 4}
+        assert reloaded.get("bb" * 32) == {"v": 2}
+        reloaded.close()
+
+    def test_verify_classifies_the_tear(self, torn_store):
+        store = TrialStore(torn_store)
+        report = store.verify()
+        assert report["torn"] == 1
+        assert report["invalid"] == 0
+        assert report["unique"] == 2
+        store.close()
+
+    def test_compact_drops_the_tear(self, torn_store):
+        store = TrialStore(torn_store)
+        store.compact()
+        report = store.verify()
+        assert report["torn"] == 0 and report["invalid"] == 0
+        assert store.get("aa" * 32) == {"v": 1}
+        assert store.get("bb" * 32) == {"v": 2}
+        store.close()
+
+    def test_two_crashes_in_a_row(self, torn_store):
+        # A second writer dies the same way before anyone healed the
+        # first tear; the shard now ends in doubly-torn garbage.
+        crash_a_writer(torn_store)
+        store = TrialStore(torn_store)
+        new_key = "aa" + "dd" * 31
+        store.put(new_key, {"v": 5})
+        assert store.get(new_key) == {"v": 5}
+        assert store.get("aa" * 32) == {"v": 1}
+        store.close()

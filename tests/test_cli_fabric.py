@@ -1,0 +1,105 @@
+"""CLI tests for the ``repro sweep`` and ``repro store`` subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main, store_main, sweep_main
+from repro.store import TrialStore
+
+
+@pytest.fixture
+def small_store(tmp_path):
+    store = TrialStore(tmp_path / "s")
+    store.put("aa" * 32, {"v": 1})
+    store.put("bb" * 32, {"v": 2})
+    store.close()
+    # A duplicate segment line, as a crashed-then-reissued worker's
+    # double commit would leave it (the store dedups live puts).
+    seg = tmp_path / "s" / "segments" / "aa.jsonl"
+    line = seg.read_text().splitlines()[0]
+    with seg.open("a") as fh:
+        fh.write(line + "\n")
+    return tmp_path / "s"
+
+
+class TestStoreCLI:
+    def test_stats(self, small_store, capsys):
+        assert main(["store", "stats", str(small_store)]) == 0
+        out = capsys.readouterr().out
+        assert "2 unique records" in out
+        assert "1 duplicate" in out
+
+    def test_verify_clean_after_compact(self, small_store, capsys):
+        assert store_main(["compact", str(small_store)]) == 0
+        assert store_main(["verify", str(small_store)]) == 0
+        out = capsys.readouterr().out
+        assert "duplicates   0" in out
+
+    def test_verify_flags_corruption(self, small_store, capsys):
+        # A terminated undecodable interior line is real corruption.
+        seg = small_store / "segments" / "aa.jsonl"
+        seg.write_text('not json\n' + seg.read_text())
+        assert store_main(["verify", str(small_store)]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_compact_with_budget_evicts(self, small_store, capsys):
+        assert store_main(["compact", str(small_store), "--max-bytes", "80"]) == 0
+        assert "evicted" in capsys.readouterr().out
+
+    def test_not_a_store_is_refused(self, tmp_path, capsys):
+        assert store_main(["stats", str(tmp_path / "nope")]) == 2
+        assert "MANIFEST.json" in capsys.readouterr().err
+
+
+class TestSweepCLI:
+    def test_usage_errors(self, tmp_path, capsys):
+        # No experiment named (and not a worker) is a usage error...
+        assert sweep_main(["--store", str(tmp_path / "s")]) == 2
+        # ...as are both a figure and a config...
+        cfg = tmp_path / "c.json"
+        cfg.write_text("{}")
+        assert sweep_main(
+            ["fig2", "--config", str(cfg), "--store", str(tmp_path / "s")]
+        ) == 2
+        # ...and a coordinator without a store.
+        assert sweep_main(["fig2"]) == 2
+        assert main(["sweep", "fig99", "--store", str(tmp_path / "s")]) == 2
+
+    def test_inline_sweep_writes_outputs(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "fig2",
+                "--trials", "2",
+                "--seed", "3",
+                "--chunk-size", "2",
+                "--workers", "0",
+                "--store", str(tmp_path / "s"),
+                "--out", str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fabric:" in out and "completed" in out
+        doc = json.loads((tmp_path / "out" / "fig2.json").read_text())
+        assert doc["trials_per_cell"] == 2
+        assert (tmp_path / "out" / "fig2.csv").exists()
+        assert (tmp_path / "out" / "fig2.md").exists()
+
+    def test_rerun_resumes_from_store(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "fig2",
+            "--trials", "2",
+            "--chunk-size", "2",
+            "--workers", "0",
+            "--store", str(tmp_path / "s"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 completed over 0 leases" in out
