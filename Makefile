@@ -4,7 +4,7 @@ PYTHON ?= python
 TRIALS ?= 1024
 JOBS ?=
 
-.PHONY: install test bench bench-runner bench-cache bench-fabric bench-service cache-smoke kernel-smoke fabric-smoke profile figures lint lint-clean examples serve-smoke all
+.PHONY: install test bench bench-runner bench-cache bench-fabric bench-service cache-smoke kernel-smoke vec-smoke fabric-smoke profile figures lint lint-clean examples serve-smoke all
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -34,6 +34,12 @@ cache-smoke:
 # compiled kernel's oracle contract at the CLI boundary.
 kernel-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/kernel_smoke.py
+
+# Vectorized-tier smoke: REPRO_VEC=1 CLI report byte-identical to the
+# reference, the NumPy-absent fallback byte-identical too, and the
+# batched stage pipeline over its smoke speedup floor.
+vec-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/vec_smoke.py
 
 # Chaos smoke of the distributed sweep fabric: coordinator + 2 local
 # workers, one SIGKILLed while holding a lease; the sweep must still

@@ -18,6 +18,18 @@ the Monte Carlo hot path is tracked across PRs:
   speedup must clear ``--kernel-target`` (default 1.5×), or the
   benchmark fails.  The legs are timed interleaved, best-of-``R``
   each, to keep the ratio honest on noisy machines.
+* ``vec_speedup`` — the vectorized tier's batched stage pipeline (the
+  stages ``repro.kernel.vec`` lifts onto arrays: estimates → metric
+  weights → lockstep EDF, all four metrics of a seed batch folded into
+  one EDF call, exactly the seed-batch driver's shape) over the same
+  stages through the compiled kernel, one lane at a time.  Slicing is
+  excluded from both sides — it is the same sequential DP in both
+  tiers (the vec tier only accelerates its tail ranking).  Interleaved
+  best-of-``R`` again; every lane's schedule must be bit-identical to
+  the compiled kernel's, a seed subsample must match the *reference
+  oracle* (``use_kernel=False``) field for field on the default
+  tie-break, and the speedup must clear ``--vec-target`` (default
+  4.0×), or the benchmark fails.
 
 The paired engine is then timed with ``jobs=1`` vs ``jobs=4`` at a
 larger trial count (``--mp-trials``; the pool's startup cost needs real
@@ -90,6 +102,150 @@ def time_engine(
     return best, doc
 
 
+def vec_leg(
+    lanes: int, repeats: int, oracle_checks: int
+) -> tuple[float, float, int]:
+    """Time the vectorized stage pipeline against the compiled kernel.
+
+    Returns ``(kernel_best, vec_best, lanes_compared)`` in seconds.
+    Both sides run the identical work: for each of the paper's four
+    metrics over one batch of *lanes* seeds, the estimate stage, the
+    metric weight stage, and the EDF schedule over precomputed slicing
+    windows — the scalar side through the per-lane compiled kernel
+    functions, the vec side through the batch APIs with all four
+    metrics folded into one lockstep EDF call (the seed-batch driver's
+    production shape).  Per-rep cache clears make every rep recompute
+    the value stages; structure arrays (compiled workloads, windows,
+    the lane stack) are prewarmed for both sides alike.
+
+    Raises ``SystemExit`` on any bit-identity mismatch — against the
+    compiled kernel per lane, and against the reference oracle
+    (``use_kernel=False``) on an *oracle_checks*-seed subsample.
+    """
+    import math
+
+    from repro.core.estimation import get_estimator
+    from repro.core.metrics import get_metric
+    from repro.experiments.context import TrialContext
+    from repro.experiments.runner import run_trial
+    from repro.kernel import vec as V
+    from repro.kernel.edf import kernel_schedule_edf
+    from repro.kernel.metrics import kernel_weights
+    from repro.kernel.slicing import kernel_slice
+
+    params = WorkloadParams(m=4)
+    contexts = TrialContext.from_seeds(params, list(range(lanes)))
+    cws = [c.compiled for c in contexts]
+    metrics = [get_metric(name, TrialConfig().adaptive) for name in METRIC_NAMES]
+    est_obj = get_estimator("WCET-AVG")
+
+    # Prewarm the structure arrays both tiers share (pure functions of
+    # the workloads) and the slicing windows the EDF stage consumes.
+    for cw in cws:
+        cw.parallel_set_sizes()
+        V.vec_arrays(cw)
+    windows = {}
+    for metric in metrics:
+        for cw in cws:
+            est = cw.estimates_from_vals(est_obj.name, est_obj.combine)
+            weights = kernel_weights(cw, metric, est, est_obj.name)
+            ka = kernel_slice(cw, metric, weights)
+            windows[(metric.name, id(cw))] = (ka.win_a, ka.win_d)
+    all_lanes = [
+        (cw, *windows[(metric.name, id(cw))])
+        for metric in metrics
+        for cw in cws
+    ]
+    stack = V._lane_stack([lane[0] for lane in all_lanes])
+    stack.succ(), stack.pred(), stack.sched(), stack.csr(), stack.topo()
+
+    def clear():
+        for cw in cws:
+            cw._est_lists.clear()
+            cw._weight_lists.clear()
+            cw._succ_w_masters.clear()
+
+    def kernel_side():
+        clear()
+        out = []
+        for metric in metrics:
+            for cw in cws:
+                est = cw.estimates_from_vals(est_obj.name, est_obj.combine)
+                kernel_weights(cw, metric, est, est_obj.name)
+                win_a, win_d = windows[(metric.name, id(cw))]
+                out.append(kernel_schedule_edf(cw, win_a, win_d))
+        return out
+
+    def vec_side():
+        clear()
+        for metric in metrics:
+            ests = V.vec_estimates_batch(cws, est_obj.name)
+            V.vec_weights_batch(cws, metric, ests, est_obj.name)
+        return V.vec_schedule_edf_batch(all_lanes)
+
+    def fsame(a: float, b: float) -> bool:
+        return a == b or (math.isnan(a) and math.isnan(b))
+
+    ks_all, vs_all = kernel_side(), vec_side()
+    for ks, vs in zip(ks_all, vs_all):
+        same = (
+            ks.feasible == vs.feasible
+            and ks.failed == vs.failed
+            and (
+                not vs.feasible
+                or (
+                    fsame(ks.makespan, vs.makespan)
+                    and fsame(ks.max_lateness(), vs.max_lateness())
+                )
+            )
+        )
+        if not same:
+            print("FATAL: vec tier diverges from the compiled kernel")
+            raise SystemExit(1)
+
+    # Reference-oracle subsample: full run_trial outcomes, vec tier vs
+    # the string-keyed reference pipeline on the default tie-break.
+    fields = (
+        "success", "degenerate", "n_tasks", "min_laxity",
+        "makespan", "max_lateness", "failed_task",
+    )
+    step = max(1, lanes // max(1, oracle_checks))
+    for sp in range(0, lanes, step):
+        for metric_name in METRIC_NAMES:
+            config = TrialConfig(workload=params, metric=metric_name)
+            ref = run_trial(config, sp, contexts[sp], use_kernel=False)
+            fast = run_trial(
+                config, sp, contexts[sp], use_kernel=True, use_vec=True
+            )
+            for name in fields:
+                a, b = getattr(ref, name), getattr(fast, name)
+                if not (
+                    a == b
+                    or (
+                        isinstance(a, float)
+                        and isinstance(b, float)
+                        and math.isnan(a)
+                        and math.isnan(b)
+                    )
+                ):
+                    print(
+                        "FATAL: vec tier diverges from the reference "
+                        f"oracle (seed {sp}, {metric_name}, {name}: "
+                        f"{a!r} != {b!r})"
+                    )
+                    raise SystemExit(1)
+
+    kernel_best = vec_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kernel_side()
+        kernel_best = min(kernel_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        vec_side()
+        vec_best = min(vec_best, time.perf_counter() - start)
+    return kernel_best, vec_best, len(all_lanes)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -114,6 +270,26 @@ def main(argv: list[str] | None = None) -> int:
         default=1.5,
         help="minimum required kernel-over-reference speedup "
         "(default 1.5; the benchmark fails below it)",
+    )
+    parser.add_argument(
+        "--vec-lanes",
+        type=int,
+        default=1024,
+        help="seed lanes per metric in the vectorized leg (default 1024)",
+    )
+    parser.add_argument(
+        "--vec-target",
+        type=float,
+        default=4.0,
+        help="minimum required vec-over-kernel stage speedup "
+        "(default 4.0; the benchmark fails below it)",
+    )
+    parser.add_argument(
+        "--vec-checks",
+        type=int,
+        default=24,
+        help="seeds subsampled for the reference-oracle bit-identity "
+        "assert in the vectorized leg (default 24)",
     )
     parser.add_argument("--seed", type=int, default=2026)
     parser.add_argument(
@@ -160,6 +336,26 @@ def main(argv: list[str] | None = None) -> int:
         kernel_s = min(kernel_s, s)
     print(f"paired-ref:     {ref_s:.3f} s")
     print(f"paired/kernel:  {kernel_s:.3f} s")
+
+    from repro.kernel.vec import vec_available
+
+    if vec_available():
+        print(
+            f"vec leg: batched stage pipeline vs compiled kernel, "
+            f"{args.vec_lanes} lanes x {len(METRIC_NAMES)} metrics, "
+            f"best of {args.repeats} interleaved"
+        )
+        vk_s, vec_s, vec_lanes_total = vec_leg(
+            args.vec_lanes, args.repeats, args.vec_checks
+        )
+        vec_speedup = vk_s / vec_s
+        vec_note = None
+        print(f"kernel stages:  {vk_s:.3f} s")
+        print(f"vec stages:     {vec_s:.3f} s  ({vec_lanes_total} lanes)")
+    else:  # pragma: no cover - numpy is available on the bench box
+        vk_s = vec_s = vec_speedup = None
+        vec_note = "skipped: numpy unavailable"
+        print("vec leg: skipped (numpy unavailable)")
 
     cpu_count = os.cpu_count() or 1
     single_cpu = cpu_count == 1
@@ -210,6 +406,11 @@ def main(argv: list[str] | None = None) -> int:
         f"{kernel_speedup:.2f}x kernel-over-reference"
         + (
             ""
+            if vec_speedup is None
+            else f", {vec_speedup:.2f}x vec-over-kernel stages"
+        )
+        + (
+            ""
             if multiprocess_speedup is None
             else f", {multiprocess_speedup:.2f}x from jobs=4"
         )
@@ -224,6 +425,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FATAL: kernel speedup {kernel_speedup:.3f}x is below the "
             f"{args.kernel_target}x target"
+        )
+        return 1
+    if vec_speedup is not None and vec_speedup < args.vec_target:
+        print(
+            f"FATAL: vec speedup {vec_speedup:.3f}x is below the "
+            f"{args.vec_target}x target"
         )
         return 1
 
@@ -243,6 +450,18 @@ def main(argv: list[str] | None = None) -> int:
         "paired_kernel_seconds": round(kernel_s, 6),
         "kernel_speedup": round(kernel_speedup, 4),
         "kernel_target": args.kernel_target,
+        "vec_lanes": args.vec_lanes,
+        "vec_kernel_stage_seconds": (
+            None if vk_s is None else round(vk_s, 6)
+        ),
+        "vec_stage_seconds": (
+            None if vec_s is None else round(vec_s, 6)
+        ),
+        "vec_speedup": (
+            None if vec_speedup is None else round(vec_speedup, 4)
+        ),
+        "vec_target": args.vec_target,
+        "vec_note": vec_note,
         "multiprocess_trials_per_cell": args.mp_trials,
         "multiprocess_jobs": 4,
         "paired_mp_jobs1_seconds": round(mp1_s, 6),

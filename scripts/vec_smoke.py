@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the vectorized tier (used by CI).
+
+Three gates, each fatal:
+
+1. **CLI bit-identity** — a tiny sweep through ``python -m repro
+   experiment`` with ``REPRO_VEC=1`` (vectorized tier, seed-batch
+   driver) must print the byte-identical report of a ``REPRO_KERNEL=0``
+   reference run.  This is the oracle contract on the full user path:
+   CLI → paired engine → batch driver → slicing → EDF → report.
+2. **Fallback bit-identity** — the same ``REPRO_VEC=1`` run with
+   ``REPRO_VEC_NO_NUMPY=1`` (NumPy reported absent) must fall through
+   to the compiled kernel and still match the reference byte for byte.
+3. **Speedup floor** — the batched stage pipeline (estimates → weights
+   → lockstep EDF over a seed batch, all four metrics folded into one
+   EDF call) must beat the same stages through the per-lane compiled
+   kernel by at least ``VEC_SMOKE_TARGET`` (default 2.0× — a smoke
+   floor loose enough for loaded CI boxes; the calibrated ≥4× gate
+   lives in ``scripts/bench_runner.py`` / ``BENCH_runner.json``),
+   with every lane's schedule bit-identical.
+
+Usage::
+
+    PYTHONPATH=src python scripts/vec_smoke.py
+    make vec-smoke
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+FIGURE = "fig2"
+TRIALS = "8"
+SMOKE_LANES = 256
+SMOKE_REPEATS = 3
+
+
+def run_once(env_overrides: dict[str, str]) -> str:
+    """One CLI run; returns the report text (wall-clock normalized)."""
+    env = dict(os.environ)
+    env.update(env_overrides)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "experiment", FIGURE,
+            "--trials", TRIALS, "--jobs", "1",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"FATAL: CLI exited {proc.returncode} ({env_overrides})")
+    return re.sub(r"elapsed=\S+", "elapsed=*", proc.stdout)
+
+
+def stage_speedup() -> float:
+    """Best-of-``SMOKE_REPEATS`` interleaved stage-pipeline ratio."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_runner import vec_leg  # noqa: E402 - sibling script
+
+    kernel_s, vec_s, lanes = vec_leg(SMOKE_LANES, SMOKE_REPEATS, 8)
+    print(
+        f"stage pipeline: kernel {kernel_s:.3f} s, vec {vec_s:.3f} s "
+        f"({lanes} lanes, bit-identical)"
+    )
+    return kernel_s / vec_s
+
+
+def main() -> int:
+    from repro.kernel.vec import vec_available
+
+    if not vec_available():
+        print("FATAL: numpy unavailable — the vec smoke cannot run",
+              file=sys.stderr)
+        return 1
+
+    target = float(os.environ.get("VEC_SMOKE_TARGET", "2.0"))
+    failures = []
+
+    reference = run_once({"REPRO_KERNEL": "0", "REPRO_VEC": "0"})
+    print(f"reference run (REPRO_KERNEL=0): {len(reference)} bytes of report")
+    vec = run_once({"REPRO_KERNEL": "1", "REPRO_VEC": "1"})
+    print(f"vec run       (REPRO_VEC=1):    {len(vec)} bytes of report")
+    if vec != reference:
+        failures.append("REPRO_VEC=1 report differs from the reference report")
+
+    fallback = run_once(
+        {"REPRO_KERNEL": "1", "REPRO_VEC": "1", "REPRO_VEC_NO_NUMPY": "1"}
+    )
+    print(f"fallback run  (numpy absent):   {len(fallback)} bytes of report")
+    if fallback != reference:
+        failures.append(
+            "NumPy-absent fallback report differs from the reference report"
+        )
+
+    speedup = stage_speedup()
+    print(f"vec stage speedup: {speedup:.2f}x (floor {target}x)")
+    if speedup < target:
+        failures.append(
+            f"vec stage speedup {speedup:.2f}x is below the {target}x floor"
+        )
+
+    for failure in failures:
+        print(f"FATAL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("vec smoke OK: bit-identical reports, fallback sound, "
+          "speedup floor cleared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,19 @@ class TrialContext:
         """
         return cls(generate_workload(params, make_rng(seed)))
 
+    @classmethod
+    def from_seeds(
+        cls, params: "WorkloadParams", seeds: Sequence[int]
+    ) -> list["TrialContext"]:
+        """One context per seed of a chunk, in seed order.
+
+        The seed-batch driver's input shape: generation stays strictly
+        per-seed (each workload is a pure function of ``(params,
+        seed)``), so batching changes nothing about the workloads —
+        only how the derived stages are evaluated across them.
+        """
+        return [cls.from_seed(params, seed) for seed in seeds]
+
     # ------------------------------------------------------------------
     @property
     def graph(self) -> TaskGraph:

@@ -52,7 +52,13 @@ from ..rng import derive_seed
 from ..sched.listsched import get_scheduler
 from ..store import StoreStats, TrialStore, store_key
 from ..system.interconnect import ContentionBus
-from ..kernel.trial import kernel_enabled, kernel_supported, run_trial_kernel
+from ..kernel.trial import (
+    kernel_enabled,
+    kernel_supported,
+    run_trial_kernel,
+    run_trial_vec,
+)
+from ..kernel.vec import batch_supported, vec_available, vec_enabled
 from .context import TrialContext
 from .spec import ExperimentSpec, TrialConfig, TrialOutcome
 
@@ -80,6 +86,7 @@ def run_trial(
     seed: int,
     context: TrialContext | None = None,
     use_kernel: bool | None = None,
+    use_vec: bool | None = None,
 ) -> TrialOutcome:
     """Run one generate→slice→schedule trial.
 
@@ -91,13 +98,23 @@ def run_trial(
 
     ``use_kernel`` pins the compiled fast path on (``True``) or off
     (``False``); the default ``None`` defers to the ``REPRO_KERNEL``
-    environment switch.  Either way the kernel only engages for configs
-    inside its bit-identical envelope (relaxed locality, plain EDF,
-    the paper's four metrics), so the outcome never depends on it.
+    environment switch.  ``use_vec`` likewise pins the vectorized tier
+    (default: the ``REPRO_VEC`` switch, which is off unless set to
+    ``"1"``); it engages only when NumPy is importable and silently
+    falls through to the compiled kernel otherwise.  Pinning
+    ``use_kernel=False`` (the ``paired-ref`` oracle) disables the
+    vectorized tier too — the reference pipeline runs alone.  Every
+    tier is bit-identical inside its envelope, so the outcome never
+    depends on these switches.
     """
     if context is None:
         context = TrialContext.from_seed(config.workload, seed)
     use_k = use_kernel if use_kernel is not None else kernel_enabled()
+    use_v = use_vec if use_vec is not None else vec_enabled()
+    if use_kernel is False:
+        use_v = False
+    if use_v and vec_available() and kernel_supported(config):
+        return run_trial_vec(config, context)
     if use_k and kernel_supported(config):
         return run_trial_kernel(config, context)
     graph, platform = context.graph, context.platform
@@ -317,11 +334,12 @@ def run_cell(
     config: TrialConfig,
     seeds: Sequence[int],
     use_kernel: bool | None = None,
+    use_vec: bool | None = None,
 ) -> CellResult:
     """Run a block of trials of one cell serially (per-cell worker unit)."""
     acc = _CellAccumulator()
     for seed in seeds:
-        acc.add(run_trial(config, seed, use_kernel=use_kernel))
+        acc.add(run_trial(config, seed, use_kernel=use_kernel, use_vec=use_vec))
     return acc.result(len(seeds))
 
 
@@ -329,6 +347,7 @@ def run_paired_cells(
     cells: Sequence[tuple[int, TrialConfig]],
     seeds: Sequence[int],
     use_kernel: bool | None = None,
+    use_vec: bool | None = None,
 ) -> list[tuple[int, CellResult]]:
     """Run a block of paired trials covering every series of one sweep point.
 
@@ -339,16 +358,46 @@ def run_paired_cells(
     generator) and every series is judged on it through a shared
     :class:`TrialContext`.  Returns one partial :class:`CellResult` per
     series, aggregated over this seed block.
+
+    With the vectorized tier active (``use_vec``/``REPRO_VEC``, NumPy
+    present) and a single shared workload family, the whole block runs
+    through the seed-batch driver: one weight-stage array pass and one
+    lockstep EDF pass cover every seed lane of each series, and the
+    per-series accumulators are fed the identical outcomes in the
+    identical seed order — the aggregates match the sequential loop
+    bit for bit.
     """
+    use_v = use_vec if use_vec is not None else vec_enabled()
+    if use_kernel is False:
+        use_v = False
+    if (
+        use_v
+        and vec_available()
+        and len(seeds) > 1
+        and len({config.workload for _si, config in cells}) == 1
+        and any(batch_supported(config) for _si, config in cells)
+    ):
+        from ..kernel.vec import paired_outcomes
+
+        contexts = TrialContext.from_seeds(cells[0][1].workload, seeds)
+        outcomes = paired_outcomes(cells, seeds, contexts, use_kernel)
+        accs = {si: _CellAccumulator() for si, _ in cells}
+        for sp in range(len(seeds)):
+            for si, _config in cells:
+                accs[si].add(outcomes[(si, sp)])
+        return [(si, accs[si].result(len(seeds))) for si, _ in cells]
+
     accs = {si: _CellAccumulator() for si, _ in cells}
     for seed in seeds:
-        contexts: dict[Any, TrialContext] = {}
+        contexts_by_wl: dict[Any, TrialContext] = {}
         for si, config in cells:
-            context = contexts.get(config.workload)
+            context = contexts_by_wl.get(config.workload)
             if context is None:
                 context = TrialContext.from_seed(config.workload, seed)
-                contexts[config.workload] = context
-            accs[si].add(run_trial(config, seed, context, use_kernel))
+                contexts_by_wl[config.workload] = context
+            accs[si].add(
+                run_trial(config, seed, context, use_kernel, use_vec)
+            )
     return [(si, accs[si].result(len(seeds))) for si, _ in cells]
 
 

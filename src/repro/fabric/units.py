@@ -177,16 +177,24 @@ def unit_is_stored(store: TrialStore, unit: WorkUnit) -> bool:
 
 
 def compute_unit(
-    unit: WorkUnit, use_kernel: bool | None = None
+    unit: WorkUnit,
+    use_kernel: bool | None = None,
+    use_vec: bool | None = None,
 ) -> list[tuple[str, dict[str, Any]]]:
     """Judge one unit; returns its ``(store key, record)`` pairs.
 
     Exactly the paired engine's arithmetic
     (:func:`~repro.experiments.runner.run_paired_cells` on the same
     cells and seed block), so the committed records are the ones a
-    single-process run would have produced.
+    single-process run would have produced.  ``use_kernel``/``use_vec``
+    pin the fast-path tiers; the defaults defer to the worker's
+    ``REPRO_KERNEL``/``REPRO_VEC`` environment — either way the records
+    are bit-identical, a unit is free to be judged by a vectorized
+    worker and merged next to scalar ones.
     """
-    partials = run_paired_cells(list(unit.cells), list(unit.seeds), use_kernel)
+    partials = run_paired_cells(
+        list(unit.cells), list(unit.seeds), use_kernel, use_vec
+    )
     return [
         (unit.keys[i], cell.to_dict())
         for i, (_si, cell) in enumerate(partials)

@@ -73,12 +73,16 @@ def worker_loop(
     lease_ttl: float = 30.0,
     poll: float = 0.2,
     use_kernel: bool | None = None,
+    use_vec: bool | None = None,
     max_units: int | None = None,
 ) -> int:
     """Drain the sweep through *transport*; returns units completed.
 
     ``max_units`` bounds this worker's share (tests and canary runs);
     the loop otherwise runs until :meth:`Transport.finished`.
+    ``use_kernel``/``use_vec`` pin the fast-path tiers per worker; the
+    defaults defer to the inherited ``REPRO_KERNEL``/``REPRO_VEC``
+    environment, and records commit bit-identically either way.
     """
     completed = 0
     while max_units is None or completed < max_units:
@@ -95,7 +99,7 @@ def worker_loop(
                 # completed without recomputation.
                 records: list[tuple[str, Any]] = []
                 if not transport.stored(unit):
-                    records = compute_unit(unit, use_kernel)
+                    records = compute_unit(unit, use_kernel, use_vec)
             transport.complete(worker, unit, records)
         except BaseException:
             try:
@@ -117,9 +121,10 @@ def local_worker_entry(
     """Process entry point of one ``repro sweep --workers N`` worker.
 
     Spawn-safe: arguments are plain strings/floats, every object is
-    reconstructed here.  The kernel on/off choice deliberately defers
-    to the ``REPRO_KERNEL`` environment the worker inherited, exactly
-    like a single-process run's pool workers.
+    reconstructed here.  The kernel and vectorized-tier choices
+    deliberately defer to the ``REPRO_KERNEL``/``REPRO_VEC``
+    environment the worker inherited, exactly like a single-process
+    run's pool workers.
     """
     from .transport import LocalTransport
 

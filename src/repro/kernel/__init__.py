@@ -7,6 +7,11 @@ bit-identical to the string-keyed reference implementation in
 ``repro.core`` / ``repro.sched`` (which stays available as the oracle
 via ``engine="paired-ref"`` or ``REPRO_KERNEL=0``).
 
+A third tier, :mod:`repro.kernel.vec` (``REPRO_VEC=1``), lifts the
+weight stage, the slicing tail ranking, and a lockstep seed-batch EDF
+engine onto NumPy arrays — still bit-identical on the default
+tie-break, with an automatic pure-Python fallback when NumPy is absent.
+
 See ``docs/performance.md`` for the architecture and the measured
 speedups.
 """
@@ -15,7 +20,13 @@ from .compiled import CompiledWorkload, compile_workload
 from .edf import KernelSchedule, kernel_schedule_edf
 from .metrics import KERNEL_METRIC_TYPES, kernel_weights
 from .slicing import KernelAssignment, kernel_slice
-from .trial import kernel_enabled, kernel_supported, run_trial_kernel
+from .trial import (
+    kernel_enabled,
+    kernel_supported,
+    run_trial_kernel,
+    run_trial_vec,
+)
+from .vec import vec_available, vec_enabled, vec_fastmath
 
 __all__ = [
     "CompiledWorkload",
@@ -29,4 +40,8 @@ __all__ = [
     "kernel_enabled",
     "kernel_supported",
     "run_trial_kernel",
+    "run_trial_vec",
+    "vec_available",
+    "vec_enabled",
+    "vec_fastmath",
 ]

@@ -83,6 +83,7 @@ class CompiledWorkload:
         "_est_lists",
         "_weight_lists",
         "_succ_w_masters",
+        "_vec",
     )
 
     def __init__(self, graph: "TaskGraph", platform: "Platform") -> None:
@@ -230,6 +231,11 @@ class CompiledWorkload:
         self._est_lists: dict[str, list[float]] = {}
         self._weight_lists: dict[tuple, list[float]] = {}
         self._succ_w_masters: dict[int, tuple] = {}
+        # Lazily built NumPy twin of the flat arrays (padded successor/
+        # predecessor matrices, dense WCET view) — owned and memoized by
+        # :func:`repro.kernel.vec.vec_arrays`; ``None`` until the
+        # vectorized path first touches this workload.
+        self._vec = None
 
     # ------------------------------------------------------------------
     def parallel_set_sizes(self) -> list[int]:

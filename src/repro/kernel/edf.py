@@ -36,7 +36,12 @@ from ..sched.schedule import Schedule, ScheduledTask
 from ..system.interconnect import CommunicationModel, SharedBus
 from .compiled import CompiledWorkload
 
-__all__ = ["KernelSchedule", "kernel_schedule_edf"]
+__all__ = ["KernelSchedule", "kernel_schedule_edf", "MISS_TOLERANCE"]
+
+#: The reference scheduler's absolute-deadline slack for the miss test
+#: (``finish > absdl + MISS_TOLERANCE``) — shared with the vectorized
+#: batch engine so both paths apply the very same float expression.
+MISS_TOLERANCE = 1e-9
 
 
 class KernelSchedule:
@@ -270,7 +275,7 @@ def kernel_schedule_edf(
             start = max(data_ready, proc_free[q], resource_floor, arrival)
             finish = start + wcet_pp[i * m + q]
 
-        if finish > absdl + 1e-9:
+        if finish > absdl + MISS_TOLERANCE:
             result.feasible = False
             if result.failed < 0:
                 result.failed = i

@@ -2,8 +2,8 @@
 
 Produces, for each of the paper's four metrics, the per-task weight
 array the slicing DP accumulates — ``c̄_i`` for PURE/NORM, the virtual
-execution time ``ĉ_i`` for ADAPT-G/ADAPT-L — as a flat ``list[float]``
-in task-insertion order.
+execution time ``ĉ_i`` for ADAPT-G/ADAPT-L — as a flat immutable
+``tuple[float, ...]`` in task-insertion order.
 
 Bit-identity notes (each mirrors the reference in
 :mod:`repro.core.metrics` / :mod:`repro.graph.algorithms` operation for
@@ -74,7 +74,7 @@ def kernel_weights(
     metric: CriticalPathMetric,
     est: list[float],
     est_key: str | None = None,
-) -> list[float]:
+) -> tuple[float, ...]:
     """The metric's weight array over *cw*, in insertion order.
 
     *est* is the estimate array (``cw.estimates_list(...)`` output).
@@ -84,6 +84,15 @@ def kernel_weights(
     arrays (``est_key=None``) are computed fresh each call.  Only the
     exact types in :data:`KERNEL_METRIC_TYPES` are accepted;
     dispatchers gate on :func:`repro.kernel.trial.kernel_supported`.
+
+    The returned array is an immutable tuple, never the caller's *est*
+    object: PURE/NORM weights *equal* the estimates, but handing back
+    (and memoizing) the estimate list itself would alias the weight
+    cache to the estimate cache — one downstream mutation would then
+    corrupt both for every later series of the trial.  PURE and NORM
+    still share one tuple per estimator (so their slicing runs share
+    one ``succ_w_master``), but that tuple is owned by the weight cache
+    alone.
     """
     key = None
     cache = cw.weights_cache()
@@ -99,7 +108,18 @@ def kernel_weights(
             return cached
 
     if isinstance(metric, (PureMetric, NormMetric)):
-        weights = est
+        # One shared immutable copy of the estimates per estimator:
+        # cached under a key no metric name can collide with, so PURE
+        # and NORM resolve to the same tuple (identity matters for the
+        # per-weights succ_w_master memo) without aliasing *est*.
+        if est_key is not None:
+            est_copy_key = ("__est_copy__", est_key)
+            weights = cache.get(est_copy_key)
+            if weights is None:
+                weights = tuple(est)
+                cache[est_copy_key] = weights
+        else:
+            weights = tuple(est)
     elif isinstance(metric, AdaptGMetric):
         m = cw.m
         if m < 1:
@@ -107,7 +127,9 @@ def kernel_weights(
         xi = _average_parallelism(cw, est)
         c_thres = _threshold(cw, metric.params, est)
         surplus = 1.0 + metric.params.k_g * xi / m
-        weights = [c * surplus if c >= c_thres else c for c in est]
+        weights = tuple(
+            c * surplus if c >= c_thres else c for c in est
+        )
     elif isinstance(metric, AdaptLMetric):
         m = cw.m
         if m < 1:
@@ -115,10 +137,10 @@ def kernel_weights(
         sizes = cw.parallel_set_sizes()
         c_thres = _threshold(cw, metric.params, est)
         k_l = metric.params.k_l
-        weights = [
+        weights = tuple(
             c * (1.0 + k_l * sizes[i] / m) if c >= c_thres else c
             for i, c in enumerate(est)
-        ]
+        )
     else:  # pragma: no cover - dispatch gates on kernel_supported
         raise MetricError(
             f"kernel has no fast path for metric {type(metric).__name__}"

@@ -30,7 +30,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..experiments.context import TrialContext
     from ..experiments.spec import TrialConfig, TrialOutcome
 
-__all__ = ["kernel_enabled", "kernel_supported", "run_trial_kernel"]
+__all__ = [
+    "kernel_enabled",
+    "kernel_supported",
+    "run_trial_kernel",
+    "run_trial_vec",
+]
 
 
 def kernel_enabled() -> bool:
@@ -66,14 +71,17 @@ def kernel_supported(config: "TrialConfig") -> bool:
 
 
 def run_trial_kernel(
-    config: "TrialConfig", context: "TrialContext"
+    config: "TrialConfig", context: "TrialContext", use_vec: bool = False
 ) -> "TrialOutcome":
     """One generate→slice→schedule trial on the compiled fast path.
 
     Produces the exact :class:`TrialOutcome` of the reference
     :func:`repro.experiments.runner.run_trial` for every supported
     config (see :func:`kernel_supported`); callers must gate on that
-    predicate.
+    predicate.  ``use_vec=True`` routes the weight stage and the
+    slicing tail ranking through :mod:`repro.kernel.vec` (same floats,
+    array ops); callers should additionally gate on
+    :func:`repro.kernel.vec.vec_available`.
     """
     from ..experiments.spec import TrialOutcome
 
@@ -91,8 +99,13 @@ def run_trial_kernel(
         # Graph-aware or custom strategies go through the reference map.
         est_map = context.estimates_for(config.estimator)
         est = cw.estimates_list(est_key, est_map)
-    weights = kernel_weights(cw, metric, est, est_key=est_key)
-    ka = kernel_slice(cw, metric, weights)
+    if use_vec:
+        from .vec import vec_weights
+
+        weights = vec_weights(cw, metric, est, est_key=est_key)
+    else:
+        weights = kernel_weights(cw, metric, est, est_key=est_key)
+    ka = kernel_slice(cw, metric, weights, use_vec=use_vec)
 
     comm = (
         ContentionBus(config.workload.bus_delay_per_item)
@@ -120,5 +133,19 @@ def run_trial_kernel(
         max_lateness=max_lateness,
         failed_task=ks.failed_task,
     )
+
+
+def run_trial_vec(
+    config: "TrialConfig", context: "TrialContext"
+) -> "TrialOutcome":
+    """One trial through the vectorized tier (NumPy weight stage and
+    tail ranking over the compiled slicing/EDF pipeline).
+
+    Bit-identical to :func:`run_trial_kernel` and the reference for
+    every supported config; callers gate on :func:`kernel_supported`
+    and :func:`repro.kernel.vec.vec_available` (when NumPy is absent
+    the dispatcher must fall through to the pure-Python kernel).
+    """
+    return run_trial_kernel(config, context, use_vec=True)
 
 

@@ -8,6 +8,21 @@ released automatically when the holder dies, so a crashed writer never
 wedges the store.  On platforms without :mod:`fcntl` the lock degrades
 to an atomic ``O_CREAT | O_EXCL`` spin lock with stale-lock takeover.
 
+Stale-lock takeover in the spin fallback is deliberately conservative:
+
+* a lock is judged abandoned only after *this* waiter has watched the
+  same file — same inode, same mtime — sit unchanged for the full
+  ``stale_after`` window on its own monotonic clock.  Comparing
+  wall-clock time against ``st_mtime`` would falsely age fresh locks
+  whenever the filesystem's clock disagrees with ours (NFS, containers).
+* breaking the lock is atomic: the waiter first claims a shared token
+  file (``<lock>.takeover``) with ``O_CREAT | O_EXCL`` — exactly one
+  claimant can win — re-checks that the lock is still the very file it
+  judged stale, and only then ``os.replace``\\ s the token over the lock
+  path.  A waiter that loses the token race, or whose stale lock was
+  replaced under it, backs off and keeps spinning; it never unlinks a
+  lock it does not own.
+
 In-process (thread) exclusion is layered on top with a plain
 :class:`threading.Lock`, because ``flock`` is per open file description
 and would happily re-enter within one process.
@@ -27,21 +42,36 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 __all__ = ["FileLock"]
 
+#: (st_ino, st_mtime_ns) — what "the same lock file" means for the
+#: observed-age staleness rule.
+_Identity = tuple[int, int]
+
 
 class FileLock:
     """Exclusive advisory lock on a path, usable as a context manager.
 
     Reentrant within neither threads nor processes — the store takes it
     once around each batch of appends or one compaction, never nested.
+
+    ``stale_after`` tunes the spin-fallback takeover window (seconds a
+    lock file must sit unchanged before a waiter may break it); the
+    ``flock`` fast path never needs it because the kernel releases a
+    dead holder's lock automatically.
     """
 
     #: Spin-lock fallback: seconds between acquisition attempts, and the
-    #: age past which an abandoned lock file is considered stale.
+    #: default observation window past which an unchanged lock file is
+    #: considered abandoned.
     _SPIN_INTERVAL = 0.01
     _STALE_AFTER = 30.0
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, *, stale_after: float | None = None
+    ) -> None:
         self.path = Path(path)
+        self._stale_after = (
+            self._STALE_AFTER if stale_after is None else float(stale_after)
+        )
         self._thread_lock = threading.Lock()
         self._fd: int | None = None
 
@@ -58,23 +88,88 @@ class FileLock:
             self._thread_lock.release()
             raise
 
-    def _spin_acquire(self) -> int:  # pragma: no cover - non-POSIX fallback
+    @staticmethod
+    def _identity(path: str | Path) -> _Identity | None:
+        try:
+            st = os.stat(path)
+        except OSError:
+            return None
+        return (st.st_ino, st.st_mtime_ns)
+
+    def _spin_acquire(self) -> int:
+        token = Path(f"{self.path}.takeover")
+        # Each entry: (identity when first seen, monotonic first-seen).
+        lock_seen: tuple[_Identity, float] | None = None
+        token_seen: tuple[_Identity, float] | None = None
         while True:
             try:
                 return os.open(
                     self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644
                 )
             except FileExistsError:
+                pass
+            now = time.monotonic()
+            ident = self._identity(self.path)
+            if ident is None:
+                # The holder released between our open and stat; the
+                # next O_CREAT | O_EXCL attempt races fairly for it.
+                lock_seen = None
+                continue
+            if lock_seen is None or lock_seen[0] != ident:
+                lock_seen = (ident, now)
+            elif now - lock_seen[1] >= self._stale_after:
+                fd, token_seen = self._take_over(ident, token, token_seen, now)
+                if fd is not None:
+                    return fd
+            time.sleep(self._SPIN_INTERVAL)
+
+    def _take_over(
+        self,
+        stale_ident: _Identity,
+        token: Path,
+        token_seen: tuple[_Identity, float] | None,
+        now: float,
+    ) -> tuple[int | None, tuple[_Identity, float] | None]:
+        """Attempt one atomic takeover of the lock judged *stale_ident*.
+
+        Returns ``(fd, token_seen)``: the held lock fd on success, else
+        ``None`` plus the updated observation of a competitor's token
+        (a token is itself broken by the observed-age rule, so a
+        claimant that dies mid-takeover cannot wedge the lock forever).
+        """
+        try:
+            tfd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644)
+        except FileExistsError:
+            t_ident = self._identity(token)
+            if t_ident is None:
+                return None, None  # claimant just finished or abandoned
+            if token_seen is None or token_seen[0] != t_ident:
+                return None, (t_ident, now)
+            if now - token_seen[1] >= self._stale_after:
                 try:
-                    if (
-                        time.time() - self.path.stat().st_mtime
-                        > self._STALE_AFTER
-                    ):
-                        self.path.unlink(missing_ok=True)
-                        continue
+                    os.unlink(token)
                 except OSError:
                     pass
-                time.sleep(self._SPIN_INTERVAL)
+                return None, None
+            return None, token_seen
+        except OSError:
+            return None, token_seen
+        # Exactly one waiter holds the token.  Re-validate before the
+        # swap: steal only the very lock we watched go stale — if the
+        # holder (or another winner) replaced it meanwhile, back off.
+        if self._identity(self.path) == stale_ident:
+            try:
+                os.replace(token, self.path)
+            except OSError:
+                pass
+            else:
+                return tfd, None
+        os.close(tfd)
+        try:
+            os.unlink(token)
+        except OSError:
+            pass
+        return None, None
 
     def release(self) -> None:
         fd, self._fd = self._fd, None
@@ -83,10 +178,20 @@ class FileLock:
                 if fcntl is not None:
                     fcntl.flock(fd, fcntl.LOCK_UN)
                 else:  # pragma: no cover - non-POSIX fallback
-                    self.path.unlink(missing_ok=True)
+                    self._unlink_if_owner(fd)
                 os.close(fd)
         finally:
             self._thread_lock.release()
+
+    def _unlink_if_owner(self, fd: int) -> None:
+        # Remove the lock file only if it is still *our* lock: a waiter
+        # that judged us stale and took over owns the path now, and
+        # unlinking its file here would hand the lock to a third party.
+        try:
+            if os.fstat(fd).st_ino == os.stat(self.path).st_ino:
+                os.unlink(self.path)
+        except OSError:
+            pass
 
     def __enter__(self) -> "FileLock":
         self.acquire()

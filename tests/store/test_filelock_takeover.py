@@ -1,0 +1,150 @@
+"""Regression: stale-lock takeover must admit exactly one waiter.
+
+The bug: the spin-fallback path judged staleness by comparing
+wall-clock ``time.time()`` against the lock file's ``st_mtime`` and
+then broke the lock non-atomically (unlink + create) — two waiters
+could both judge the lock stale and both "acquire" it, and clock skew
+on shared filesystems falsely aged fresh locks.  The fix takes over
+through an ``O_CREAT | O_EXCL`` token claimed by exactly one waiter and
+``os.replace``\\ d over the lock path.
+
+These tests race two real processes (the thread lock inside one
+process would mask the bug) against a deliberately staled lock and pin
+mutual exclusion via a read-modify-write counter: any double
+acquisition loses an increment.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import repro
+from repro.store.filelock import FileLock
+
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+#: Child: force the spin fallback (fcntl = None), then loop
+#: acquire → read counter → sleep → write counter+1 → release.
+#: Unserialized critical sections lose increments.
+_WAITER = textwrap.dedent(
+    """
+    import sys, time
+    import repro.store.filelock as fl
+
+    fl.fcntl = None  # force the spin/takeover path
+    lock_path, counter_path, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    lock = fl.FileLock(lock_path, stale_after=0.4)
+    for _ in range(rounds):
+        lock.acquire()
+        try:
+            value = int(open(counter_path).read())
+            time.sleep(0.005)  # widen the window a double-acquire races
+            with open(counter_path, "w") as fh:
+                fh.write(str(value + 1))
+        finally:
+            lock.release()
+    print("DONE", flush=True)
+    """
+)
+
+
+def _race(tmp_path, rounds: int) -> int:
+    lock_path = tmp_path / "store.lock"
+    counter = tmp_path / "counter"
+    counter.write_text("0")
+    # The deliberately staled lock: a dead holder's file that no
+    # process refreshes.  Both waiters must watch it sit unchanged for
+    # the full window; exactly one may then take it over.
+    lock_path.write_text("")
+    env = {**os.environ, "PYTHONPATH": _SRC}
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable, "-c", _WAITER,
+                str(lock_path), str(counter), str(rounds),
+            ],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        for _ in range(2)
+    ]
+    try:
+        for proc in procs:
+            out, _ = proc.communicate(timeout=120)
+            assert proc.returncode == 0
+            assert b"DONE" in out
+    finally:
+        for proc in procs:  # pragma: no cover - cleanup on failure
+            if proc.poll() is None:
+                proc.kill()
+    return int(counter.read_text())
+
+
+class TestStaleTakeoverRace:
+    def test_two_waiters_racing_a_stale_lock_exclude_each_other(
+        self, tmp_path
+    ):
+        rounds = 5
+        assert _race(tmp_path, rounds) == 2 * rounds
+
+    def test_takeover_is_not_wedged_by_its_own_token(self, tmp_path):
+        """A claimant that died between claiming the token and the
+        replace must not wedge later waiters: the token ages out by the
+        same observed-age rule."""
+        lock_path = tmp_path / "w.lock"
+        lock_path.write_text("")  # stale lock ...
+        Path(f"{lock_path}.takeover").write_text("")  # ... and dead token
+        import repro.store.filelock as fl
+
+        original = fl.fcntl
+        fl.fcntl = None
+        try:
+            lock = FileLock(lock_path, stale_after=0.3)
+            start = time.monotonic()
+            lock.acquire()
+            lock.release()
+            # Two observation windows (token, then lock) plus slack.
+            assert time.monotonic() - start < 30.0
+        finally:
+            fl.fcntl = original
+
+    def test_fresh_lock_is_never_broken_early(self, tmp_path):
+        """A lock whose holder is alive (refreshing mtime) must not be
+        taken over even when it is older than ``stale_after``."""
+        import repro.store.filelock as fl
+
+        lock_path = tmp_path / "fresh.lock"
+        lock_path.write_text("")
+        stop = time.monotonic() + 1.2
+        original = fl.fcntl
+        fl.fcntl = None
+        try:
+            lock = FileLock(lock_path, stale_after=0.4)
+            acquired = False
+
+            import threading
+
+            def waiter():
+                nonlocal acquired
+                lock.acquire()
+                acquired = True
+                lock.release()
+
+            thread = threading.Thread(target=waiter, daemon=True)
+            thread.start()
+            # The "holder" keeps touching the lock: as long as the file
+            # keeps changing, the waiter's observed age resets.
+            while time.monotonic() < stop:
+                os.utime(lock_path)
+                time.sleep(0.05)
+                assert not acquired
+            os.unlink(lock_path)  # holder releases; waiter wins cleanly
+            thread.join(timeout=30)
+            assert acquired
+        finally:
+            fl.fcntl = original
