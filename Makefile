@@ -4,7 +4,7 @@ PYTHON ?= python
 TRIALS ?= 1024
 JOBS ?=
 
-.PHONY: install test bench bench-runner bench-cache bench-fabric bench-service cache-smoke kernel-smoke vec-smoke fabric-smoke profile figures lint lint-clean examples serve-smoke all
+.PHONY: install test bench bench-runner bench-cache bench-fabric bench-service bench-service-pool cache-smoke kernel-smoke vec-smoke fabric-smoke profile figures lint lint-clean examples serve-smoke serve-pool-smoke all
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -75,5 +75,18 @@ examples:
 
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py
+
+# serve-smoke plus the pooled-topology leg: asyncio front end + 2
+# pre-forked workers, keep-alive pipelining, one forced 429, bounded
+# drain.
+serve-pool-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/serve_smoke.py --workers 2
+
+# Topology equivalence (byte-identity + metric totals) and throughput
+# legs for the pooled service; writes the workers section of
+# BENCH_service.json.  The pooled-vs-single speedup is gated only on
+# hosts with >= 2 CPUs; single-CPU hosts record "skipped: single-cpu".
+bench-service-pool:
+	PYTHONPATH=src $(PYTHON) scripts/bench_service.py
 
 all: test bench

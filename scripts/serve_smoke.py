@@ -3,27 +3,51 @@
 
 Starts a server on an ephemeral port, POSTs one assignment twice (the
 second must be a cache hit), scrapes ``/metrics``, and shuts down.
+With ``--workers N`` (N ≥ 2) a second leg repeats the exercise against
+the pooled topology — asyncio front end + pre-forked workers — over
+one keep-alive connection, forces a 429 + ``Retry-After`` out of a
+saturated one-worker pool, and checks the drain stays bounded.
 Prints ``OK`` and exits 0 on success; any failure exits non-zero.
 
-Run via ``make serve-smoke`` or directly::
+Run via ``make serve-smoke`` / ``make serve-pool-smoke`` or directly::
 
-    PYTHONPATH=src python scripts/serve_smoke.py
+    PYTHONPATH=src python scripts/serve_smoke.py [--workers 2]
 """
 
 from __future__ import annotations
 
+import argparse
+import http.client
 import json
 import sys
 import threading
+import time
 import urllib.request
 
 from repro.graph import chain_graph, graph_to_dict
-from repro.service import DeadlineAssignmentService, create_server
+from repro.service import (
+    DeadlineAssignmentService,
+    PooledFrontend,
+    WorkerPool,
+    create_server,
+)
 from repro.system import identical_platform
 from repro.system.platform import platform_to_dict
 
 
-def main() -> int:
+def smoke_body() -> bytes:
+    graph = chain_graph([10, 20, 15])
+    graph.set_uniform_e2e_deadline(90.0)
+    return json.dumps(
+        {
+            "graph": graph_to_dict(graph),
+            "platform": platform_to_dict(identical_platform(2)),
+            "metric": "ADAPT-L",
+        }
+    ).encode()
+
+
+def single_process_smoke() -> int:
     service = DeadlineAssignmentService()
     server = create_server(port=0, service=service)
     host, port = server.server_address[:2]
@@ -31,15 +55,7 @@ def main() -> int:
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
-        graph = chain_graph([10, 20, 15])
-        graph.set_uniform_e2e_deadline(90.0)
-        body = json.dumps(
-            {
-                "graph": graph_to_dict(graph),
-                "platform": platform_to_dict(identical_platform(2)),
-                "metric": "ADAPT-L",
-            }
-        ).encode()
+        body = smoke_body()
 
         with urllib.request.urlopen(base + "/healthz") as response:
             assert response.status == 200, "healthz failed"
@@ -79,6 +95,140 @@ def main() -> int:
         thread.join(timeout=5)
     print(f"serve-smoke: OK ({base}/assign answered, cache hit, metrics sane)")
     return 0
+
+
+def pooled_smoke(workers: int) -> int:
+    """Pooled-topology leg: pipelining, a forced 429, bounded drain."""
+    body = smoke_body()
+
+    # Leg A: keep-alive pipelining against a real multi-worker pool.
+    frontend = PooledFrontend(WorkerPool(workers))
+    frontend.start(timeout=120.0)
+    host, port = frontend.address
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200, "pooled healthz failed"
+            response.read()
+            docs = []
+            for _ in range(2):  # same connection: keep-alive pipelining
+                conn.request(
+                    "POST",
+                    "/assign",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                assert response.status == 200, "pooled assign failed"
+                docs.append(json.loads(response.read()))
+            first, second = docs
+            assert not first["cached"], "pooled first request must compute"
+            assert second["cached"], "pooled second must be a cache hit"
+            assert second["slices"] == first["slices"], "pool changed answer"
+            # An error reply must not poison the connection.
+            conn.request("POST", "/assign", body=b"{broken")
+            response = conn.getresponse()
+            assert response.status == 400, "bad JSON must be 400"
+            response.read()
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            assert response.status == 200, "pooled metrics scrape failed"
+            text = response.read().decode()
+        finally:
+            conn.close()
+        for needle in (
+            "repro_cache_hits_total 1",
+            "repro_cache_misses_total 1",
+            'repro_requests_total{endpoint="assign",status="400"} 1',
+        ):
+            assert needle in text, f"pooled metrics missing {needle!r}"
+    except AssertionError as exc:
+        print(f"serve-smoke: FAIL (pooled): {exc}", file=sys.stderr)
+        return 1
+    finally:
+        frontend.close(timeout=10.0)
+
+    # Leg B: saturate a deliberately slow one-worker pool; at least one
+    # request must be shed with 429 + Retry-After, and closing the
+    # front end mid-flight must stay bounded (the drain contract).
+    frontend = PooledFrontend(
+        WorkerPool(1, max_queue=1, compute_delay=0.5), retry_after=3
+    )
+    frontend.start(timeout=120.0)
+    host, port = frontend.address
+    statuses: list[tuple[int, str | None]] = []
+    lock = threading.Lock()
+
+    def burst(i: int) -> None:
+        graph = chain_graph([10 + i, 20, 15])
+        graph.set_uniform_e2e_deadline(90.0 + i)
+        payload = json.dumps(
+            {
+                "graph": graph_to_dict(graph),
+                "platform": platform_to_dict(identical_platform(2)),
+                "metric": "ADAPT-L",
+            }
+        ).encode()
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            conn.request("POST", "/assign", body=payload)
+            response = conn.getresponse()
+            response.read()
+            with lock:
+                statuses.append(
+                    (response.status, response.getheader("Retry-After"))
+                )
+        finally:
+            conn.close()
+
+    try:
+        threads = [
+            threading.Thread(target=burst, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+        codes = sorted(status for status, _ in statuses)
+        assert len(statuses) == 6, "burst requests went unanswered"
+        assert 429 in codes, "saturated pool never shed a request"
+        assert set(codes) <= {200, 429}, f"unexpected statuses {codes}"
+        for status, retry_after in statuses:
+            if status == 429:
+                assert retry_after == "3", "429 without Retry-After: 3"
+    except AssertionError as exc:
+        print(f"serve-smoke: FAIL (backpressure): {exc}", file=sys.stderr)
+        frontend.close(timeout=10.0)
+        return 1
+
+    started = time.monotonic()
+    frontend.close(timeout=2.0)
+    drain = time.monotonic() - started
+    if drain > 30.0:
+        print(f"serve-smoke: FAIL: drain took {drain:.1f}s", file=sys.stderr)
+        return 1
+    print(
+        f"serve-smoke: OK (pooled x{workers}: pipelined, cache hit, "
+        f"{codes.count(429)} shed with Retry-After, drained in {drain:.1f}s)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="also smoke the pooled topology with this many workers (≥2)",
+    )
+    args = parser.parse_args(argv)
+    status = single_process_smoke()
+    if status == 0 and args.workers >= 2:
+        status = pooled_smoke(args.workers)
+    return status
 
 
 if __name__ == "__main__":

@@ -189,11 +189,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=0.002,
         help="max seconds a batch waits for more requests (default 0.002)",
     )
+    # Imported lazily everywhere else, but the parser default must be
+    # computed at build time so --help shows the real value.
+    from ..service.pool import default_workers
+
     parser.add_argument(
         "--workers",
         type=int,
+        default=default_workers(),
+        help="worker processes serving assignments (default "
+        "min(cpu_count, 4)); 1 runs the in-process single-server path",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
         default=4,
-        help="worker threads executing batches (default 4)",
+        help="micro-batcher threads per worker process (default 4)",
     )
     parser.add_argument(
         "--max-queue",
@@ -219,22 +230,39 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 
 def serve_main(argv: list[str] | None = None) -> int:
-    """Entry point of ``repro serve``."""
+    """Entry point of ``repro serve``.
+
+    ``--workers 1`` serves in-process on the stdlib threading server
+    (today's exact path); ``--workers N`` pre-forks N assignment worker
+    processes behind the asyncio front end.  Service knobs are
+    validated up front in either case, so a bad ``--cache-size`` fails
+    fast instead of inside a spawned worker.
+    """
     args = build_serve_parser().parse_args(argv)
     from ..service import DeadlineAssignmentService, create_server
 
+    if args.workers < 1:
+        print(
+            f"error: --workers must be at least 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    max_queue = args.max_queue if args.max_queue > 0 else None
     try:
         service = DeadlineAssignmentService(
             cache_size=args.cache_size,
             batch_size=args.batch_size,
             batch_wait=args.batch_wait,
-            workers=args.workers,
-            max_queue=args.max_queue if args.max_queue > 0 else None,
+            workers=args.threads,
+            max_queue=max_queue,
             cache_dir=args.cache_dir,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.workers > 1:
+        service.close()
+        return _serve_pooled(args, max_queue)
     try:
         server = create_server(
             args.host, args.port, service, retry_after=args.retry_after
@@ -258,6 +286,53 @@ def serve_main(argv: list[str] | None = None) -> int:
     finally:
         server.server_close()
         service.close(timeout=args.drain_timeout)
+    return 0
+
+
+def _serve_pooled(args, max_queue: int | None) -> int:
+    """Run the asyncio front end over a pre-forked worker pool."""
+    import threading
+
+    from ..service import PooledFrontend, WorkerPool
+
+    pool = WorkerPool(
+        args.workers,
+        cache_size=args.cache_size,
+        batch_size=args.batch_size,
+        batch_wait=args.batch_wait,
+        threads=args.threads,
+        max_queue=max_queue,
+        cache_dir=args.cache_dir,
+    )
+    frontend = PooledFrontend(
+        pool,
+        host=args.host,
+        port=args.port,
+        retry_after=args.retry_after,
+    )
+    try:
+        frontend.start()
+    except OSError as exc:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    host, port = frontend.address
+    print(
+        f"repro deadline-assignment service on http://{host}:{port} "
+        f"({args.workers} worker processes; POST /assign, GET /healthz, "
+        "GET /metrics; Ctrl-C to stop)"
+    )
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        frontend.close(timeout=args.drain_timeout)
     return 0
 
 

@@ -1,0 +1,531 @@
+"""Asyncio HTTP front end for the pre-forked assignment worker pool.
+
+The pooled topology (``repro serve --workers N``, N ≥ 2)::
+
+    clients ──keep-alive HTTP──▶ PooledFrontend (1 asyncio thread)
+                                   │  parse · single-flight · 429 shed
+                                   ├──pipe──▶ assign worker 0 ─┐
+                                   ├──pipe──▶ assign worker 1 ─┤ shared
+                                   └──pipe──▶ ...              ─┘ spill dir
+
+The front end owns everything cheap and I/O-bound — accept, a
+hand-rolled HTTP/1.1 keep-alive parser (stdlib only), backpressure and
+the graceful drain — and forwards parsed ``/assign`` bodies to the
+least-loaded worker process, where the existing
+:class:`~repro.service.server.DeadlineAssignmentService` does the
+actual cache/batch/kernel work.
+
+Single-flight moves *up* here: requests are coalesced by the SHA-256 of
+their raw body bytes, so a duplicate burst costs one pipe crossing and
+one worker computation no matter how many clients sent it.  Bodies
+containing an ``"admit"`` key never coalesce — admission is stateful
+(each submission advances a controller), so every admission request
+must reach a worker individually.  Body-hash coalescing is strictly
+weaker than the worker's canonical-digest single-flight, which still
+catches textually different but canonically equal requests that land
+on the same worker; requests split across workers are instead caught by
+the shared spill tier as cross-process cache hits.
+
+Metric accounting is split to keep the aggregated ``/metrics`` totals
+identical to the single-process exposition: workers count everything
+about requests they actually receive (cache hits/misses, computed and
+failed assignments, latency); the front end counts the HTTP layer
+(requests, errors, overload sheds) plus the requests that never reach
+a worker — coalesced followers and queue-full sheds — mirroring the
+bumps the single-process service would have made for them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import threading
+import time
+from typing import Any
+
+from ..errors import ServiceOverloadError
+from .agg import aggregate_metrics
+from .metrics import ServiceMetrics
+from .pool import RemoteAssignError, WorkerPool
+
+__all__ = ["PooledFrontend"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Content Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_BYTES = 65536
+_MAX_BODY_BYTES = 64 << 20
+
+
+class PooledFrontend:
+    """Async HTTP server bridging clients to a :class:`WorkerPool`.
+
+    Runs its event loop on a private daemon thread so the CLI, tests
+    and smoke scripts can drive it synchronously: :meth:`start` blocks
+    until the socket is bound and every worker answered a readiness
+    ping; :meth:`close` is the graceful drain.
+
+    Parameters
+    ----------
+    pool:
+        The worker pool; the front end owns its lifecycle from
+        :meth:`start` through :meth:`close`.
+    host / port:
+        Bind address (``port=0`` picks a free port; see ``address``).
+    retry_after:
+        ``Retry-After`` seconds advertised on 429 responses.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry_after: int = 1,
+    ) -> None:
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self.retry_after = retry_after
+        self.metrics = ServiceMetrics()
+        self.address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._boot_error: BaseException | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 60.0) -> None:
+        """Spawn workers, bind the socket, and serve in the background.
+
+        Raises whatever the bind raised (``OSError`` for a taken port)
+        or ``RuntimeError`` when a worker fails its readiness ping; on
+        failure the pool is closed, so the caller holds no half-started
+        topology.
+        """
+        try:
+            self.pool.start(timeout=timeout)
+        except BaseException:
+            self.pool.close(timeout=1.0)
+            raise
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            args=(ready,),
+            name="repro-frontend",
+            daemon=True,
+        )
+        self._thread.start()
+        ready.wait(timeout)
+        if self._boot_error is not None:
+            self._thread.join(5.0)
+            self.pool.close(timeout=1.0)
+            raise self._boot_error
+        if self.address is None:
+            self.close(timeout=1.0)
+            raise RuntimeError("front end failed to bind within the timeout")
+
+    def _run_loop(self, ready: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            self._server = await asyncio.start_server(
+                self._handle_client, self.host, self.port
+            )
+            sock = self._server.sockets[0]
+            self.address = sock.getsockname()[:2]
+
+        try:
+            loop.run_until_complete(boot())
+        except BaseException as exc:  # noqa: BLE001 - re-raised in start()
+            self._boot_error = exc
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    def close(self, timeout: float | None = None) -> None:
+        """Graceful drain: stop accepting, finish in-flight, stop pool.
+
+        Bounded by *timeout* when given — in-flight computations get up
+        to that many seconds (the pool fails stragglers' futures, so no
+        blocked client connection can hang the drain).  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            self.pool.close(timeout=timeout)
+            return
+        done = asyncio.run_coroutine_threadsafe(
+            self._shutdown(timeout), loop
+        )
+        try:
+            done.result(timeout=None if timeout is None else timeout + 15.0)
+        except Exception:  # noqa: BLE001 - drain must not raise upward
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(10.0)
+
+    async def _shutdown(self, timeout: float | None) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Pool close blocks (pipe joins), so it runs off-loop; it fails
+        # any pending dispatch futures, which wakes the connection
+        # tasks awaiting them — they answer 500 and finish below.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, lambda: self.pool.close(timeout))
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(
+                list(self._conn_tasks), timeout=2.0
+            )
+            for task in pending:
+                task.cancel()
+
+    def __enter__(self) -> "PooledFrontend":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-request; nothing to answer
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            if len(request_line) > _MAX_REQUEST_LINE:
+                await self._reply_and_close(
+                    writer, 400, {"error": "request line too long"}
+                )
+                return
+            parts = request_line.decode("latin-1").strip().split()
+            if len(parts) != 3:
+                await self._reply_and_close(
+                    writer, 400, {"error": "malformed request line"}
+                )
+                return
+            method, path, version = parts
+            headers: dict[str, str] = {}
+            header_bytes = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                header_bytes += len(line)
+                if header_bytes > _MAX_HEADER_BYTES:
+                    await self._reply_and_close(
+                        writer, 431, {"error": "request headers too large"}
+                    )
+                    return
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            if "chunked" in headers.get("transfer-encoding", "").lower():
+                await self._reply_and_close(
+                    writer,
+                    400,
+                    {"error": "chunked transfer encoding is not supported"},
+                )
+                return
+            try:
+                length = int(headers.get("content-length", "0") or "0")
+            except ValueError:
+                await self._reply_and_close(
+                    writer, 400, {"error": "invalid Content-Length"}
+                )
+                return
+            if length < 0 or length > _MAX_BODY_BYTES:
+                await self._reply_and_close(
+                    writer, 413, {"error": "request body too large"}
+                )
+                return
+            body = await reader.readexactly(length) if length else b""
+            keep_alive = (
+                version == "HTTP/1.1"
+                and headers.get("connection", "").lower() != "close"
+                and not self._draining
+            )
+            status, payload, content_type, extra = await self._dispatch(
+                method, path, body
+            )
+            self._write_response(
+                writer, status, payload, content_type, extra, keep=keep_alive
+            )
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    async def _reply_and_close(
+        self, writer: asyncio.StreamWriter, status: int, doc: dict
+    ) -> None:
+        """Answer a protocol error and drop the connection.
+
+        Parse-level failures leave the stream position unknown, so
+        keep-alive is never safe afterwards — same policy as the
+        single-process handler's ``close_connection`` flips.
+        """
+        status, body, content_type, extra = self._json_response(
+            status, doc, endpoint="unknown"
+        )
+        self._write_response(
+            writer, status, body, content_type, extra, keep=False
+        )
+        await writer.drain()
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra: dict[str, str],
+        *,
+        keep: bool,
+    ) -> None:
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in extra.items():
+            head.append(f"{name}: {value}")
+        if not keep:
+            head.append("Connection: close")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes, str, dict[str, str]]:
+        if method == "GET" and path == "/healthz":
+            return self._json_response(
+                200, {"status": "ok"}, endpoint="healthz"
+            )
+        if method == "GET" and path == "/metrics":
+            return await self._metrics_route()
+        if path.startswith("/fabric/"):
+            # The pooled topology serves assignments only; run the
+            # single-process server to mount a sweep-fabric endpoint.
+            return self._json_response(
+                404,
+                {"error": "no sweep fabric mounted on this server"},
+                endpoint="fabric",
+            )
+        if method == "POST" and path == "/assign":
+            return await self._assign_route(body)
+        if method not in ("GET", "POST", "HEAD"):
+            return self._json_response(
+                501,
+                {"error": f"unsupported method {method!r}"},
+                endpoint="unknown",
+            )
+        return self._json_response(
+            404, {"error": f"unknown path {path!r}"}, endpoint="unknown"
+        )
+
+    async def _metrics_route(self) -> tuple[int, bytes, str, dict[str, str]]:
+        loop = asyncio.get_running_loop()
+        snapshots = await loop.run_in_executor(
+            None, self.pool.metrics_snapshots
+        )
+        merged = aggregate_metrics(snapshots, base=self.metrics)
+        payload = merged.render().encode()
+        self.metrics.requests.inc(endpoint="metrics", status="200")
+        return 200, payload, "text/plain; version=0.0.4", {}
+
+    async def _assign_route(
+        self, body: bytes
+    ) -> tuple[int, bytes, str, dict[str, str]]:
+        try:
+            data = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self.metrics.errors.inc(kind="bad_json")
+            return self._json_response(
+                400,
+                {"error": f"request body is not valid JSON: {exc}"},
+                endpoint="assign",
+            )
+        digest = hashlib.sha256(body).hexdigest()
+        # Admission mutates controller state per submission, so bodies
+        # that carry an admit key must each reach a worker — only pure
+        # (deterministic) assignment requests may coalesce.
+        coalesce = b'"admit"' not in body
+        leader = self._inflight.get(digest) if coalesce else None
+        if leader is not None:
+            return await self._follow(leader)
+        return await self._lead(digest if coalesce else None, data)
+
+    async def _follow(
+        self, leader: asyncio.Future
+    ) -> tuple[int, bytes, str, dict[str, str]]:
+        """Wait on an identical in-flight request instead of dispatching.
+
+        Books exactly the counters the single-process service would
+        have booked for a coalesced follower: a cache miss, a
+        single-flight wait, a ``coalesced`` (or ``failed``) assignment,
+        and a latency observation.
+        """
+        start = time.perf_counter()
+        self.metrics.cache_misses.inc()
+        self.metrics.singleflight_waits.inc()
+        try:
+            doc = await asyncio.shield(leader)
+        except BaseException as exc:  # noqa: BLE001 - mapped per kind
+            self.metrics.assignments.inc(source="failed")
+            self.metrics.assign_latency.observe(time.perf_counter() - start)
+            status, body, extra = self._map_assign_error(exc)
+            return self._json_response(
+                status, body, endpoint="assign", extra=extra
+            )
+        self.metrics.assignments.inc(source="coalesced")
+        self.metrics.assign_latency.observe(time.perf_counter() - start)
+        return self._json_response(200, doc, endpoint="assign")
+
+    async def _lead(
+        self, digest: str | None, data: Any
+    ) -> tuple[int, bytes, str, dict[str, str]]:
+        start = time.perf_counter()
+        flight: asyncio.Future | None = None
+        if digest is not None:
+            flight = asyncio.get_running_loop().create_future()
+            self._inflight[digest] = flight
+
+        def settle(exc: BaseException | None, doc: Any = None) -> None:
+            if digest is not None:
+                self._inflight.pop(digest, None)
+            if flight is None:
+                return
+            if exc is None:
+                flight.set_result(doc)
+            else:
+                flight.set_exception(exc)
+                flight.exception()  # consumed here; followers optional
+
+        try:
+            pool_future = self.pool.submit(data)
+        except BaseException as exc:  # noqa: BLE001 - shed/refused path
+            settle(exc)
+            # Never dispatched, so no worker booked the assign-side
+            # counters; mirror the single-process failure accounting.
+            self.metrics.cache_misses.inc()
+            self.metrics.assignments.inc(source="failed")
+            self.metrics.assign_latency.observe(time.perf_counter() - start)
+            status, body, extra = self._map_assign_error(exc)
+            return self._json_response(
+                status, body, endpoint="assign", extra=extra
+            )
+        try:
+            doc = await asyncio.wrap_future(pool_future)
+        except BaseException as exc:  # noqa: BLE001 - worker-side error
+            settle(exc)
+            status, body, extra = self._map_assign_error(exc)
+            return self._json_response(
+                status, body, endpoint="assign", extra=extra
+            )
+        settle(None, doc)
+        return self._json_response(200, doc, endpoint="assign")
+
+    def _map_assign_error(
+        self, exc: BaseException
+    ) -> tuple[int, dict, dict[str, str]]:
+        """Map a dispatch failure to the single-process HTTP contract."""
+        if isinstance(exc, ServiceOverloadError) or (
+            isinstance(exc, RemoteAssignError)
+            and exc.category == "overload"
+        ):
+            self.metrics.errors.inc(kind="ServiceOverloadError")
+            self.metrics.overloads.inc()
+            return (
+                429,
+                {"error": str(exc), "kind": "ServiceOverloadError"},
+                {"Retry-After": str(self.retry_after)},
+            )
+        if isinstance(exc, RemoteAssignError) and exc.category == "repro":
+            self.metrics.errors.inc(kind=exc.kind)
+            return 400, {"error": exc.message, "kind": exc.kind}, {}
+        self.metrics.errors.inc(kind="internal")
+        message = (
+            exc.message if isinstance(exc, RemoteAssignError) else str(exc)
+        )
+        return 500, {"error": f"internal error: {message}"}, {}
+
+    def _json_response(
+        self,
+        status: int,
+        doc: dict,
+        *,
+        endpoint: str,
+        extra: dict[str, str] | None = None,
+    ) -> tuple[int, bytes, str, dict[str, str]]:
+        """Serialize exactly like the single-process ``_send_json``.
+
+        Same ``allow_nan=False`` guard, same degraded 500 body, same
+        request-counter bump — byte-identical response bodies are the
+        pooled topology's correctness gate.
+        """
+        try:
+            body = json.dumps(doc, allow_nan=False).encode()
+        except ValueError:
+            status = 500
+            self.metrics.errors.inc(kind="non_finite_json")
+            body = json.dumps(
+                {
+                    "error": "internal error: response contained "
+                    "non-finite numbers"
+                }
+            ).encode()
+        self.metrics.requests.inc(endpoint=endpoint, status=str(status))
+        return status, body, "application/json", extra or {}

@@ -65,6 +65,28 @@ class Counter:
         with self._lock:
             self._children[key] = self._children.get(key, 0.0) + amount
 
+    def snapshot(self) -> list:
+        """JSON-serializable ``[label_pairs, value]`` rows of every child.
+
+        The wire form worker processes export over the control pipe:
+        label pairs are lists (JSON has no tuples) and round-trip
+        through :meth:`merge_snapshot` losslessly.
+        """
+        with self._lock:
+            return [
+                [[list(pair) for pair in labels], value]
+                for labels, value in sorted(self._children.items())
+            ]
+
+    def merge_snapshot(self, snapshot: list) -> None:
+        """Add another process's :meth:`snapshot` into this counter."""
+        for labels, value in snapshot:
+            key = tuple(sorted((str(k), str(v)) for k, v in labels))
+            with self._lock:
+                self._children[key] = self._children.get(key, 0.0) + float(
+                    value
+                )
+
     def value(self, **labels: str) -> float:
         key = tuple(sorted((k, str(v)) for k, v in labels.items()))
         with self._lock:
@@ -109,6 +131,29 @@ class LatencySummary:
             self._recent.append(seconds)
             self._count += 1
             self._sum += seconds
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state for cross-process aggregation."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "recent": list(self._recent),
+            }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another process's :meth:`snapshot` into this summary.
+
+        Cumulative count/sum add exactly; the quantile windows
+        concatenate (bounded by this summary's own window), so merged
+        quantiles are an approximation over the union of the most
+        recent observations — good enough for a scrape, and the only
+        thing possible without per-observation timestamps.
+        """
+        with self._lock:
+            self._count += int(snapshot["count"])
+            self._sum += float(snapshot["sum"])
+            self._recent.extend(float(v) for v in snapshot["recent"])
 
     @property
     def count(self) -> int:
@@ -222,6 +267,69 @@ class ServiceMetrics:
         # own exact counters instead of a shadow count.
         self._store_stats_provider = None
         self._fabric_status_provider = None
+
+    #: Counter attributes, in exposition order — one registry shared by
+    #: render(), snapshot() and merge_snapshot() so a new counter can
+    #: never silently drop out of the cross-process aggregation.
+    _COUNTER_ATTRS = (
+        "requests",
+        "assignments",
+        "cache_hits",
+        "cache_misses",
+        "admissions",
+        "batches",
+        "batched_items",
+        "errors",
+        "singleflight_waits",
+        "overloads",
+        "fabric_leases",
+        "fabric_completions",
+        "fabric_records",
+    )
+
+    def snapshot(self) -> dict:
+        """One JSON-serializable document of every counter and summary.
+
+        The export format worker processes send over the control pipe;
+        :meth:`merge_snapshot` on an aggregator instance folds any
+        number of them into one exposition (see
+        :mod:`repro.service.agg`).  Store counters (when a provider is
+        attached) ride along as plain numbers.
+        """
+        doc: dict = {
+            "counters": {
+                name: getattr(self, name).snapshot()
+                for name in self._COUNTER_ATTRS
+            },
+            "assign_latency": self.assign_latency.snapshot(),
+        }
+        provider = self._store_stats_provider
+        if provider is not None:
+            stats = provider()
+            doc["store"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "appends": stats.appends,
+                "evictions": stats.evictions,
+                "records": stats.records,
+                "bytes": stats.bytes,
+            }
+        return doc
+
+    def merge_snapshot(self, doc: dict) -> None:
+        """Add one :meth:`snapshot` document into this instance.
+
+        Unknown counter names are ignored (an older worker talking to a
+        newer aggregator must not kill the scrape); the store section is
+        left to the caller, which owns cross-worker gauge semantics.
+        """
+        for name, snapshot in doc.get("counters", {}).items():
+            counter = getattr(self, name, None)
+            if isinstance(counter, Counter):
+                counter.merge_snapshot(snapshot)
+        latency = doc.get("assign_latency")
+        if latency is not None:
+            self.assign_latency.merge_snapshot(latency)
 
     def set_fabric_status_provider(self, provider) -> None:
         """Register a zero-arg callable returning a ``QueueSnapshot``.
@@ -343,22 +451,8 @@ class ServiceMetrics:
 
     def render(self) -> str:
         lines: list[str] = []
-        for counter in (
-            self.requests,
-            self.assignments,
-            self.cache_hits,
-            self.cache_misses,
-            self.admissions,
-            self.batches,
-            self.batched_items,
-            self.errors,
-            self.singleflight_waits,
-            self.overloads,
-            self.fabric_leases,
-            self.fabric_completions,
-            self.fabric_records,
-        ):
-            lines.extend(counter.render())
+        for name in self._COUNTER_ATTRS:
+            lines.extend(getattr(self, name).render())
         lines.extend(
             [
                 "# HELP repro_cache_hit_rate Assignment cache hit rate "

@@ -71,12 +71,17 @@ class TestSubcommands:
         assert (tmp_path / "abl-kl.json").exists()
 
     def test_serve_parser_defaults(self):
+        import os
+
         args = build_serve_parser().parse_args([])
         assert args.host == "127.0.0.1"
         assert args.port == 8077
         assert args.cache_size == 1024
         assert args.batch_size == 8
-        assert args.workers == 4
+        # --workers now counts processes: min(cpu_count, 4), so the
+        # single-CPU CI host defaults to the in-process path.
+        assert args.workers == min(os.cpu_count() or 1, 4)
+        assert args.threads == 4
 
     def test_serve_parser_flags(self):
         args = build_serve_parser().parse_args(
