@@ -42,14 +42,19 @@ vec-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/vec_smoke.py
 
 # Chaos smoke of the distributed sweep fabric: coordinator + 2 local
-# workers, one SIGKILLed while holding a lease; the sweep must still
-# complete bit-identical to a single-process run and resume for free.
+# workers, one SIGKILLed while holding a lease, plus a journal-chaos
+# leg (worker killed mid-append, journal tail torn); every sweep must
+# still complete bit-identical to a single-process run and resume for
+# free.
 fabric-smoke:
 	PYTHONPATH=src $(PYTHON) scripts/fabric_smoke.py
 
-# workers=1 vs workers=N sweep throughput over the fabric; writes
-# BENCH_fabric.json.  Bit-identity to the single-process baseline is a
-# hard gate; the speedup is recorded, not gated (CI boxes vary).
+# Fabric overhead/protocol/scaling benchmark; writes BENCH_fabric.json.
+# Gated: workers=1 inline overhead <= 1.15x the single-process
+# baseline, journaled-queue protocol throughput over its floor,
+# bit-identity everywhere, resume free.  The workers=N speedup is
+# recorded, not gated (CI boxes vary; single-CPU hosts record
+# "skipped: single-cpu").
 bench-fabric:
 	PYTHONPATH=src $(PYTHON) scripts/bench_fabric.py
 

@@ -10,6 +10,12 @@ Exercises the fabric's headline guarantees in one scripted incident:
 * the sweep must still complete — survivors steal the expired leases —
   and the merged result must be **bit-identical** to a single-process
   ``run_experiment`` of the same shape;
+* **journal chaos**: a second sweep's only worker is SIGKILLed while
+  it is actively journaling lease/complete records, and the journal
+  tail is additionally torn (a partial line with no newline, exactly
+  what a writer killed mid-``write`` leaves).  The resumed sweep must
+  heal the tail, replay the journal, keep every completed unit done,
+  and still merge bit-identically;
 * a re-run of the same sweep over the same store must resume: zero
   leases, zero completions, nothing recomputed.
 
@@ -54,9 +60,151 @@ def fail(message: str) -> None:
     raise SystemExit(f"FAIL: {message}")
 
 
+def kill_leg(spec, store: Path, reference: str) -> None:
+    """Two workers, one SIGKILLed while holding a lease."""
+    start = time.perf_counter()
+    coordinator = FabricCoordinator(
+        spec,
+        trials=TRIALS,
+        seed=SEED,
+        chunk_size=CHUNK,
+        store=store,
+        lease_ttl=LEASE_TTL,
+    )
+    killed: dict[str, object] = {}
+    # Worker i is named "local-<coordinator pid>-<i>" by the
+    # coordinator; the victim is worker 0.
+    victim_name = f"local-{os.getpid()}-0"
+
+    def kill_when_leased(pids: list[int]) -> None:
+        if len(pids) < 2:
+            fail(f"expected 2 spawned workers, got {pids}")
+
+        def assassin() -> None:
+            deadline = time.monotonic() + KILL_DEADLINE
+            while time.monotonic() < deadline:
+                # snapshot() replays the journal under the queue lock,
+                # so the view is always whole records — never a torn
+                # mid-append read.
+                snap = coordinator.queue.snapshot()
+                if snap.leased_by.get(victim_name):
+                    os.kill(pids[0], signal.SIGKILL)
+                    killed["pid"] = pids[0]
+                    return
+                if snap.finished:
+                    return  # sweep outran the assassin
+                time.sleep(0.02)
+
+        threading.Thread(target=assassin, daemon=True).start()
+
+    try:
+        coordinator.execute(workers=2, on_workers=kill_when_leased, poll=0.05)
+        result = coordinator.merge()
+        report = coordinator.report(time.perf_counter() - start)
+    finally:
+        coordinator.close()
+    print("      " + report.summary())
+    if "pid" not in killed:
+        fail("the chaos thread never killed a worker")
+    print(f"      SIGKILLed worker pid={killed['pid']}")
+    if result_text(result) != reference:
+        fail("sweep result differs from the single-process reference")
+    done = report.completions + report.prestored_units
+    if done != report.units:
+        fail(f"{report.units} units but only {done} accounted done")
+
+
+def journal_chaos_leg(spec, store: Path, reference: str) -> None:
+    """SIGKILL the only worker mid-journaling, tear the tail, resume."""
+    coordinator = FabricCoordinator(
+        spec,
+        trials=TRIALS,
+        seed=SEED,
+        chunk_size=CHUNK,
+        store=store,
+        lease_ttl=LEASE_TTL,
+        batch=1,  # one journal commit per unit: maximal append traffic
+    )
+    killed: dict[str, object] = {}
+
+    def kill_mid_journal(pids: list[int]) -> None:
+        if not pids:
+            fail("expected a spawned worker for the journal-chaos leg")
+
+        def assassin() -> None:
+            deadline = time.monotonic() + KILL_DEADLINE
+            while time.monotonic() < deadline:
+                snap = coordinator.queue.snapshot()
+                # Strike while the worker is actively appending —
+                # after some completions landed but well before the
+                # sweep is over.
+                if 0 < snap.done < snap.total:
+                    os.kill(pids[0], signal.SIGKILL)
+                    killed["pid"] = pids[0]
+                    killed["done"] = snap.done
+                    return
+                if snap.finished:
+                    return
+                time.sleep(0.005)
+
+        threading.Thread(target=assassin, daemon=True).start()
+
+    try:
+        # inline_fallback=False: once the worker dies the queue stalls;
+        # we stop waiting as soon as the kill has landed.
+        procs = coordinator.spawn_workers(1)
+        kill_mid_journal([p.pid for p in procs])
+        deadline = time.monotonic() + KILL_DEADLINE
+        while "pid" not in killed and time.monotonic() < deadline:
+            if coordinator.queue.finished():
+                break
+            time.sleep(0.02)
+        for proc in procs:
+            proc.join(timeout=KILL_DEADLINE)
+        if "pid" not in killed:
+            fail("the journal-chaos thread never killed the worker")
+        snap = coordinator.queue.snapshot()
+        done_before = snap.done
+        print(
+            f"      SIGKILLed the journaling worker pid={killed['pid']} "
+            f"({done_before}/{snap.total} units done)"
+        )
+        # Tear the journal tail the way a mid-write SIGKILL would: a
+        # partial record with no terminating newline.
+        journal = coordinator.root / "JOURNAL.jsonl"
+        with open(journal, "ab") as fh:
+            fh.write(b'{"q": 999999, "op": "done", "w": "torn')
+    finally:
+        coordinator.close()
+
+    resumed = run_sweep(
+        spec,
+        trials=TRIALS,
+        seed=SEED,
+        workers=0,  # finish inline: deterministic, single process
+        chunk_size=CHUNK,
+        store=store,
+        lease_ttl=LEASE_TTL,
+    )
+    print("      " + resumed.report.summary())
+    if result_text(resumed.result) != reference:
+        fail("journal-chaos result differs from the reference")
+    report = resumed.report
+    if report.completions + report.prestored_units != report.units:
+        fail("journal-chaos resume left units unaccounted")
+    # Replay must have kept the pre-kill completions: the resumed run
+    # may recompute at most the units the dead worker never finished.
+    if report.completions > report.units - done_before:
+        fail(
+            f"journal replay lost completions: {done_before} were done "
+            f"before the kill, yet the resume recomputed "
+            f"{report.completions} of {report.units}"
+        )
+
+
 def main() -> int:
     spec = get_figure_spec(FIGURE)
-    print(f"[1/3] single-process reference ({FIGURE}, trials={TRIALS})")
+    print(f"[1/4] single-process reference ({FIGURE}, trials={TRIALS})")
     reference = result_text(
         run_experiment(
             spec, trials=TRIALS, seed=SEED, jobs=1, chunk_size=CHUNK
@@ -65,65 +213,10 @@ def main() -> int:
 
     with tempfile.TemporaryDirectory(prefix="fabric-smoke-") as tmp:
         store = Path(tmp) / "store"
-        print("[2/3] fabric sweep: 2 workers, one SIGKILLed holding a lease")
-        start = time.perf_counter()
-        coordinator = FabricCoordinator(
-            spec,
-            trials=TRIALS,
-            seed=SEED,
-            chunk_size=CHUNK,
-            store=store,
-            lease_ttl=LEASE_TTL,
-        )
-        killed: dict[str, object] = {}
-        # Worker i is named "local-<coordinator pid>-<i>" by the
-        # coordinator; the victim is worker 0.
-        victim_name = f"local-{os.getpid()}-0"
+        print("[2/4] fabric sweep: 2 workers, one SIGKILLed holding a lease")
+        kill_leg(spec, store, reference)
 
-        def kill_when_leased(pids: list[int]) -> None:
-            if len(pids) < 2:
-                fail(f"expected 2 spawned workers, got {pids}")
-
-            def assassin() -> None:
-                manifest = coordinator.root / "MANIFEST.json"
-                deadline = time.monotonic() + KILL_DEADLINE
-                while time.monotonic() < deadline:
-                    # Atomic-replace writes make a lock-free peek safe.
-                    doc = json.loads(manifest.read_text())
-                    holds_lease = any(
-                        entry["state"] == "leased"
-                        and entry["worker"] == victim_name
-                        for entry in doc["units"].values()
-                    )
-                    if holds_lease:
-                        os.kill(pids[0], signal.SIGKILL)
-                        killed["pid"] = pids[0]
-                        return
-                    if coordinator.queue.finished():
-                        return  # sweep outran the assassin
-                    time.sleep(0.02)
-
-            threading.Thread(target=assassin, daemon=True).start()
-
-        try:
-            coordinator.execute(
-                workers=2, on_workers=kill_when_leased, poll=0.05
-            )
-            result = coordinator.merge()
-            report = coordinator.report(time.perf_counter() - start)
-        finally:
-            coordinator.close()
-        print("      " + report.summary())
-        if "pid" not in killed:
-            fail("the chaos thread never killed a worker")
-        print(f"      SIGKILLed worker pid={killed['pid']}")
-        if result_text(result) != reference:
-            fail("sweep result differs from the single-process reference")
-        done = report.completions + report.prestored_units
-        if done != report.units:
-            fail(f"{report.units} units but only {done} accounted done")
-
-        print("[3/3] resume over the same store must recompute nothing")
+        print("[3/4] resume over the same store must recompute nothing")
         resumed = run_sweep(
             spec,
             trials=TRIALS,
@@ -143,10 +236,13 @@ def main() -> int:
                 f"{resumed.report.completions} completions"
             )
 
+    with tempfile.TemporaryDirectory(prefix="fabric-smoke-j-") as tmp:
+        print("[4/4] journal chaos: kill mid-append, tear the tail, resume")
+        journal_chaos_leg(spec, Path(tmp) / "store", reference)
+
     print(
-        "OK: sweep survived a SIGKILLed worker "
-        f"({report.reissues} lease(s) re-issued), stayed bit-identical, "
-        "and resumed for free"
+        "OK: sweeps survived a SIGKILLed worker and a torn journal, "
+        "stayed bit-identical, and resumed for free"
     )
     return 0
 

@@ -76,8 +76,16 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--chunk-size",
         type=int,
-        default=32,
-        help="trials per work unit (default 32; results are invariant)",
+        default=None,
+        help="trials per work unit (default: auto — sized to fill the "
+        "vectorized kernel's batch lanes; results are invariant)",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        help="units a worker leases and group-commits per protocol "
+        "round trip (default 16)",
     )
     parser.add_argument(
         "--workers",
@@ -137,10 +145,11 @@ def build_sweep_parser() -> argparse.ArgumentParser:
 
 def _worker_main(args: argparse.Namespace) -> int:
     """Remote-worker mode: drain leases from a serving coordinator."""
-    from ..fabric import HTTPTransport, worker_loop
+    from ..fabric import DEFAULT_BATCH, HTTPTransport, worker_loop
 
     base = args.worker_id or f"http-{os.uname().nodename}-{os.getpid()}"
     threads_n = args.workers if args.workers and args.workers > 0 else 1
+    batch = args.batch if args.batch is not None else DEFAULT_BATCH
     completed = [0] * threads_n
     errors: list[BaseException] = []
 
@@ -152,6 +161,7 @@ def _worker_main(args: argparse.Namespace) -> int:
                 f"{base}-{i}" if threads_n > 1 else base,
                 lease_ttl=args.lease_ttl,
                 poll=args.poll,
+                batch=batch,
             )
         except BaseException as exc:  # noqa: BLE001 - reported below
             errors.append(exc)
@@ -225,6 +235,9 @@ def sweep_main(argv: list[str] | None = None) -> int:
     server_thread = None
     service = None
     try:
+        coordinator_kwargs = {}
+        if args.batch is not None:
+            coordinator_kwargs["batch"] = args.batch
         coordinator = FabricCoordinator(
             spec,
             trials=args.trials,
@@ -232,10 +245,12 @@ def sweep_main(argv: list[str] | None = None) -> int:
             chunk_size=args.chunk_size,
             store=args.store,
             lease_ttl=args.lease_ttl,
+            **coordinator_kwargs,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    shard_done = time.perf_counter()
     try:
         if args.serve:
             from ..service import DeadlineAssignmentService, create_server
@@ -273,8 +288,17 @@ def sweep_main(argv: list[str] | None = None) -> int:
             # remote ones instead of computing everything itself.
             inline_fallback=not (args.serve and workers == 0),
         )
+        execute_done = time.perf_counter()
         result = coordinator.merge()
-        report = coordinator.report(time.perf_counter() - start)
+        merge_done = time.perf_counter()
+        report = coordinator.report(
+            merge_done - start,
+            phase_seconds={
+                "shard": shard_done - start,
+                "execute": execute_done - shard_done,
+                "merge": merge_done - execute_done,
+            },
+        )
     except KeyboardInterrupt:
         print(
             "interrupted: sweep state is durable — re-run the same "

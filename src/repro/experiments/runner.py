@@ -58,7 +58,13 @@ from ..kernel.trial import (
     run_trial_kernel,
     run_trial_vec,
 )
-from ..kernel.vec import batch_supported, vec_available, vec_enabled
+from ..kernel.vec import (
+    VEC_MIN_LANES,
+    batch_supported,
+    vec_available,
+    vec_enabled,
+    vec_mode,
+)
 from .context import TrialContext
 from .spec import ExperimentSpec, TrialConfig, TrialOutcome
 
@@ -99,18 +105,19 @@ def run_trial(
     ``use_kernel`` pins the compiled fast path on (``True``) or off
     (``False``); the default ``None`` defers to the ``REPRO_KERNEL``
     environment switch.  ``use_vec`` likewise pins the vectorized tier
-    (default: the ``REPRO_VEC`` switch, which is off unless set to
-    ``"1"``); it engages only when NumPy is importable and silently
-    falls through to the compiled kernel otherwise.  Pinning
-    ``use_kernel=False`` (the ``paired-ref`` oracle) disables the
-    vectorized tier too — the reference pipeline runs alone.  Every
-    tier is bit-identical inside its envelope, so the outcome never
-    depends on these switches.
+    (default: the ``REPRO_VEC`` switch — in its default ``auto`` mode
+    this *single-trial* path stays scalar, because the vec win only
+    materializes across a seed batch; ``REPRO_VEC=1`` forces it on);
+    it engages only when NumPy is importable and silently falls through
+    to the compiled kernel otherwise.  Pinning ``use_kernel=False``
+    (the ``paired-ref`` oracle) disables the vectorized tier too — the
+    reference pipeline runs alone.  Every tier is bit-identical inside
+    its envelope, so the outcome never depends on these switches.
     """
     if context is None:
         context = TrialContext.from_seed(config.workload, seed)
     use_k = use_kernel if use_kernel is not None else kernel_enabled()
-    use_v = use_vec if use_vec is not None else vec_enabled()
+    use_v = use_vec if use_vec is not None else vec_mode() == "on"
     if use_kernel is False:
         use_v = False
     if use_v and vec_available() and kernel_supported(config):
@@ -359,21 +366,25 @@ def run_paired_cells(
     :class:`TrialContext`.  Returns one partial :class:`CellResult` per
     series, aggregated over this seed block.
 
-    With the vectorized tier active (``use_vec``/``REPRO_VEC``, NumPy
-    present) and a single shared workload family, the whole block runs
-    through the seed-batch driver: one weight-stage array pass and one
-    lockstep EDF pass cover every seed lane of each series, and the
-    per-series accumulators are fed the identical outcomes in the
-    identical seed order — the aggregates match the sequential loop
-    bit for bit.
+    With the vectorized tier active (NumPy present; engaged
+    automatically for batches of at least
+    :data:`~repro.kernel.vec.VEC_MIN_LANES` seeds, or at any width ≥ 2
+    when pinned via ``use_vec=True``/``REPRO_VEC=1``) and a single
+    shared workload family, the whole block runs through the seed-batch
+    driver: one weight-stage array pass and one lockstep EDF pass cover
+    every seed lane of each series, and the per-series accumulators are
+    fed the identical outcomes in the identical seed order — the
+    aggregates match the sequential loop bit for bit.
     """
+    pinned = use_vec is True or vec_mode() == "on"
     use_v = use_vec if use_vec is not None else vec_enabled()
     if use_kernel is False:
         use_v = False
+    min_lanes = 2 if pinned else VEC_MIN_LANES
     if (
         use_v
         and vec_available()
-        and len(seeds) > 1
+        and len(seeds) >= min_lanes
         and len({config.workload for _si, config in cells}) == 1
         and any(batch_supported(config) for _si, config in cells)
     ):

@@ -26,14 +26,16 @@ from .queue import QueueSnapshot, WorkQueue
 from .transport import HTTPTransport, LocalTransport
 from .units import (
     WorkUnit,
+    auto_chunk_size,
     compute_unit,
+    compute_units,
     extract_units,
     sweep_id,
     unit_from_dict,
     unit_is_stored,
     unit_to_dict,
 )
-from .worker import worker_loop
+from .worker import DEFAULT_BATCH, worker_loop
 
 __all__ = [
     "run_sweep",
@@ -46,11 +48,14 @@ __all__ = [
     "LocalTransport",
     "HTTPTransport",
     "worker_loop",
+    "DEFAULT_BATCH",
     "WorkUnit",
+    "auto_chunk_size",
     "extract_units",
     "sweep_id",
     "unit_to_dict",
     "unit_from_dict",
     "unit_is_stored",
     "compute_unit",
+    "compute_units",
 ]

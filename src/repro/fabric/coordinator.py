@@ -33,9 +33,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Mapping, MutableMapping
 
 from ..errors import FabricError
 from ..experiments.runner import ExperimentResult, run_experiment
@@ -43,8 +43,8 @@ from ..experiments.spec import ExperimentSpec
 from ..store import TrialStore
 from .queue import QueueSnapshot, WorkQueue
 from .transport import LocalTransport, write_units_file
-from .units import extract_units, sweep_id, unit_is_stored
-from .worker import local_worker_entry, worker_loop
+from .units import auto_chunk_size, extract_units, sweep_id, unit_is_stored
+from .worker import DEFAULT_BATCH, local_worker_entry, worker_loop
 
 __all__ = ["FabricCoordinator", "SweepReport", "SweepOutcome", "run_sweep"]
 
@@ -62,14 +62,26 @@ class SweepReport:
     reissues: int
     workers_spawned: int
     elapsed_seconds: float
+    #: Wall-clock split of this run, e.g. ``{"shard": ..., "execute":
+    #: ..., "merge": ...}`` from :func:`run_sweep`, optionally joined by
+    #: the inline worker's ``lease``/``compute``/``commit`` seconds.
+    phase_seconds: Mapping[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
+        phases = ""
+        if self.phase_seconds:
+            split = ", ".join(
+                f"{name} {secs:.2f}s"
+                for name, secs in self.phase_seconds.items()
+            )
+            phases = f" [{split}]"
         return (
             f"fabric: {self.units} units ({self.prestored_units} already "
             f"stored), {self.completions} completed over {self.leases} "
             f"leases ({self.reissues} re-issued), "
             f"{self.workers_spawned} local worker(s), "
-            f"{self.elapsed_seconds:.2f}s; state in {self.fabric_root}"
+            f"{self.elapsed_seconds:.2f}s{phases}; "
+            f"state in {self.fabric_root}"
         )
 
 
@@ -86,8 +98,12 @@ class FabricCoordinator:
 
     Parameters mirror :func:`~repro.experiments.runner.run_experiment`
     where they overlap (``trials``/``seed``/``chunk_size`` shape the
-    very same units), plus the fabric knobs: ``lease_ttl`` is how long
-    a silent worker keeps its units before they are stolen.
+    very same units; ``chunk_size=None`` — the default — auto-sizes
+    units to fill the vec tier's batch lanes, see
+    :func:`~repro.fabric.units.auto_chunk_size`), plus the fabric
+    knobs: ``lease_ttl`` is how long a silent worker keeps its units
+    before they are stolen, ``batch`` how many units a worker leases
+    and group-commits per protocol round trip.
     """
 
     def __init__(
@@ -96,19 +112,25 @@ class FabricCoordinator:
         *,
         trials: int = 1024,
         seed: int = 2026,
-        chunk_size: int = 32,
+        chunk_size: int | None = None,
         store: TrialStore | str | Path,
         fabric_root: str | Path | None = None,
         lease_ttl: float = 30.0,
+        batch: int = DEFAULT_BATCH,
         clock: Callable[[], float] = time.time,
     ) -> None:
         if lease_ttl <= 0:
             raise FabricError(f"lease_ttl must be positive, got {lease_ttl}")
+        if batch < 1:
+            raise FabricError(f"batch must be >= 1, got {batch}")
+        if chunk_size is None:
+            chunk_size = auto_chunk_size(trials)
         self.spec = spec
         self.trials = trials
         self.seed = seed
         self.chunk_size = chunk_size
         self.lease_ttl = lease_ttl
+        self.batch = batch
         self._owns_store = not isinstance(store, TrialStore)
         self.store = store if isinstance(store, TrialStore) else TrialStore(store)
         self.units = extract_units(
@@ -165,6 +187,7 @@ class FabricCoordinator:
                     f"local-{os.getpid()}-{i}",
                     self.lease_ttl,
                     0.2,
+                    self.batch,
                 ),
                 daemon=True,
                 name=f"repro-fabric-worker-{i}",
@@ -174,14 +197,27 @@ class FabricCoordinator:
         self.workers_spawned += n
         return procs
 
-    def run_inline(self, *, poll: float = 0.2, worker: str | None = None) -> int:
-        """Drain the queue in this process (the worker-of-last-resort)."""
+    def run_inline(
+        self,
+        *,
+        poll: float = 0.2,
+        worker: str | None = None,
+        stats: MutableMapping[str, float] | None = None,
+    ) -> int:
+        """Drain the queue in this process (the worker-of-last-resort).
+
+        ``stats`` is handed through to the worker loop — the fabric
+        bench uses it to split the inline leg's wall clock into
+        lease/compute/commit seconds.
+        """
         transport = LocalTransport(self.store, self.root)
         return worker_loop(
             transport,
             worker or f"coordinator-{os.getpid()}",
             lease_ttl=self.lease_ttl,
             poll=poll,
+            batch=self.batch,
+            stats=stats,
         )
 
     def execute(
@@ -251,7 +287,11 @@ class FabricCoordinator:
             cache=self.store,
         )
 
-    def report(self, elapsed_seconds: float = 0.0) -> SweepReport:
+    def report(
+        self,
+        elapsed_seconds: float = 0.0,
+        phase_seconds: Mapping[str, float] | None = None,
+    ) -> SweepReport:
         snapshot: QueueSnapshot = self.queue.snapshot()
         base = self._base_snapshot
         return SweepReport(
@@ -264,6 +304,7 @@ class FabricCoordinator:
             reissues=snapshot.reissues - base.reissues,
             workers_spawned=self.workers_spawned,
             elapsed_seconds=elapsed_seconds,
+            phase_seconds=dict(phase_seconds or {}),
         )
 
     def endpoint(self, metrics: Any = None):
@@ -283,10 +324,11 @@ def run_sweep(
     trials: int = 1024,
     seed: int = 2026,
     workers: int | None = None,
-    chunk_size: int = 32,
+    chunk_size: int | None = None,
     store: TrialStore | str | Path,
     fabric_root: str | Path | None = None,
     lease_ttl: float = 30.0,
+    batch: int = DEFAULT_BATCH,
     poll: float = 0.2,
     on_workers: Callable[[list[int]], None] | None = None,
 ) -> SweepOutcome:
@@ -295,7 +337,9 @@ def run_sweep(
     The distributed counterpart of
     :func:`~repro.experiments.runner.run_experiment`: same result, bit
     for bit, any worker count, and it survives killed workers and
-    resumes partial sweeps (see :class:`FabricCoordinator`).
+    resumes partial sweeps (see :class:`FabricCoordinator`).  The
+    report carries a shard/execute/merge wall-clock split in
+    ``phase_seconds``.
     """
     start = time.perf_counter()
     coordinator = FabricCoordinator(
@@ -306,11 +350,22 @@ def run_sweep(
         store=store,
         fabric_root=fabric_root,
         lease_ttl=lease_ttl,
+        batch=batch,
     )
+    shard_done = time.perf_counter()
     try:
         coordinator.execute(workers=workers, poll=poll, on_workers=on_workers)
+        execute_done = time.perf_counter()
         result = coordinator.merge()
-        report = coordinator.report(time.perf_counter() - start)
+        merge_done = time.perf_counter()
+        report = coordinator.report(
+            merge_done - start,
+            phase_seconds={
+                "shard": shard_done - start,
+                "execute": execute_done - shard_done,
+                "merge": merge_done - execute_done,
+            },
+        )
     finally:
         coordinator.close()
     return SweepOutcome(result=result, report=report)

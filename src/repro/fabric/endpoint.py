@@ -10,10 +10,16 @@ unit payloads from ``POST /fabric/lease`` and push result records to
 Routes (JSON in/out, errors as ``{"error": ...}`` with 4xx):
 
 ==========================  ==========================================
-``POST /fabric/lease``      ``{worker, ttl?}`` → ``{unit, finished}``
-``POST /fabric/complete``   ``{worker, unit, records}`` → ``{done}``
+``POST /fabric/lease``      ``{worker, ttl?, max?}`` →
+                            ``{units, unit, finished}`` — up to ``max``
+                            unit payloads per call (batched leasing);
+                            ``unit`` carries the first payload for
+                            pre-batch clients
+``POST /fabric/complete``   ``{worker, units | unit, records}`` →
+                            ``{done}`` — one group commit for a whole
+                            batch: records append before any done mark
 ``POST /fabric/heartbeat``  ``{worker, ttl?}`` → ``{extended}``
-``POST /fabric/release``    ``{worker, unit}`` → ``{}``
+``POST /fabric/release``    ``{worker, units | unit}`` → ``{}``
 ``GET  /fabric/status``     → queue snapshot (counts, workers, finished)
 ==========================  ==========================================
 
@@ -40,6 +46,10 @@ __all__ = ["FabricEndpoint"]
 #: slow unit between heartbeats, short enough that a dead worker's
 #: units come back promptly.
 _MIN_TTL, _MAX_TTL = 0.1, 3600.0
+
+#: Cap on units per lease reply — bounds reply size and keeps one
+#: worker from draining a whole sweep in a single call.
+_MAX_BATCH = 256
 
 
 class FabricEndpoint:
@@ -108,23 +118,47 @@ class FabricEndpoint:
             raise FabricError(f"bad lease ttl {ttl!r}") from None
         return min(max(ttl, _MIN_TTL), _MAX_TTL)
 
+    def _units_of(self, doc: dict[str, Any]) -> list[str]:
+        """The unit ids a complete/release names (batch or legacy form)."""
+        if "units" in doc:
+            unit_ids = doc["units"]
+            if not isinstance(unit_ids, list) or not all(
+                isinstance(uid, str) for uid in unit_ids
+            ):
+                raise FabricError("'units' must be a list of unit ids")
+        else:
+            unit_ids = [doc.get("unit")]
+        for unit_id in unit_ids:
+            if unit_id not in self._unit_keys:
+                raise FabricError(f"unknown unit {str(unit_id)[:12]!r}...")
+        return unit_ids
+
     # ------------------------------------------------------------------
     def _lease(self, doc: dict[str, Any]) -> tuple[int, dict[str, Any]]:
         worker = self._worker_of(doc)
         ttl = self._ttl_of(doc)
-        unit_id = self.queue.lease(worker, ttl)
-        if unit_id is None:
-            return 200, {"unit": None, "finished": self.queue.finished()}
+        k = doc.get("max", 1)
+        if not isinstance(k, int) or k < 1:
+            raise FabricError(f"bad lease batch size {k!r}")
+        unit_ids = self.queue.lease_batch(worker, min(k, _MAX_BATCH), ttl)
+        if not unit_ids:
+            return 200, {
+                "units": [],
+                "unit": None,
+                "finished": self.queue.finished(),
+            }
         if self.metrics is not None:
-            self.metrics.fabric_leases.inc(worker=worker)
-        return 200, {"unit": self._unit_docs[unit_id], "finished": False}
+            self.metrics.fabric_leases.inc(len(unit_ids), worker=worker)
+        docs = [self._unit_docs[uid] for uid in unit_ids]
+        # "unit" duplicates the first payload for pre-batch clients.
+        return 200, {"units": docs, "unit": docs[0], "finished": False}
 
     def _complete(self, doc: dict[str, Any]) -> tuple[int, dict[str, Any]]:
         worker = self._worker_of(doc)
-        unit_id = doc.get("unit")
-        allowed = self._unit_keys.get(unit_id or "")
-        if allowed is None:
-            raise FabricError(f"unknown unit {str(unit_id)[:12]!r}...")
+        unit_ids = self._units_of(doc)
+        allowed = frozenset().union(
+            *(self._unit_keys[uid] for uid in unit_ids)
+        )
         raw = doc.get("records", [])
         if not isinstance(raw, list):
             raise FabricError("'records' must be a list of [key, value]")
@@ -136,18 +170,22 @@ class FabricEndpoint:
             if key not in allowed:
                 raise FabricError(
                     f"record key {str(key)[:12]!r}... does not belong to "
-                    f"unit {str(unit_id)[:12]}..."
+                    "the completed unit(s)"
                 )
             records.append((key, value))
+        # Group commit: the batch's records land before any done mark.
         appended = self.store.put_many(records)
-        transition = self.queue.complete(worker, unit_id)
+        transitions = self.queue.complete_batch(worker, unit_ids)
         if self.metrics is not None:
-            if transition:
-                self.metrics.fabric_completions.inc()
+            if transitions:
+                self.metrics.fabric_completions.inc(transitions)
             if appended:
                 self.metrics.fabric_records.inc(appended)
+        # Legacy single-"unit" clients read "done" as a bool; batch
+        # clients get the transition count.
+        done: int | bool = transitions if "units" in doc else bool(transitions)
         return 200, {
-            "done": transition,
+            "done": done,
             "appended": appended,
             "finished": self.queue.finished(),
         }
@@ -159,8 +197,6 @@ class FabricEndpoint:
 
     def _release(self, doc: dict[str, Any]) -> tuple[int, dict[str, Any]]:
         worker = self._worker_of(doc)
-        unit_id = doc.get("unit")
-        if unit_id not in self._unit_keys:
-            raise FabricError(f"unknown unit {str(unit_id)[:12]!r}...")
-        self.queue.release(worker, unit_id)
+        for unit_id in self._units_of(doc):
+            self.queue.release(worker, unit_id)
         return 200, {}

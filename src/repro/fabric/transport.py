@@ -15,10 +15,15 @@ Two ways for a worker to participate in a sweep:
   never touch the store directory, the coordinator commits on their
   behalf).  This is the ``repro sweep --connect URL`` mode.
 
-Both expose the same five calls (lease / heartbeat / complete /
-release / finished) plus ``stored`` (a pre-compute shortcut only the
-local transport can answer), so :func:`repro.fabric.worker.worker_loop`
-is transport-agnostic.
+Both expose the same verbs — the batched ``lease_batch`` /
+``complete_batch`` the worker loop drives (one lock acquisition or
+HTTP round trip per *batch* of units), their singular ``lease`` /
+``complete`` forms, ``heartbeat`` / ``release`` / ``finished``, and
+``stored`` (a pre-compute shortcut only the local transport can
+answer) — so :func:`repro.fabric.worker.worker_loop` is
+transport-agnostic.  Group commit keeps the per-unit ordering
+contract batch-wide: *all* of a batch's records land in the store
+before *any* of its units is marked done.
 """
 
 from __future__ import annotations
@@ -110,20 +115,27 @@ class LocalTransport:
         self.queue = WorkQueue(self.fabric_root)
         self._sweep, self._unit_docs = load_units_file(self.fabric_root)
 
+    def lease_batch(self, worker: str, k: int, ttl: float) -> list[WorkUnit]:
+        unit_ids = self.queue.lease_batch(worker, k, ttl)
+        units: list[WorkUnit] = []
+        for unit_id in unit_ids:
+            doc = self._unit_docs.get(unit_id)
+            if doc is None:
+                # Manifest and units file disagree — corrupt state; put
+                # every lease of this batch back so other workers are
+                # not starved by it.
+                for uid in unit_ids:
+                    self.queue.release(worker, uid)
+                raise FabricError(
+                    f"unit {unit_id[:12]}... is in the queue but not in "
+                    "the units file"
+                )
+            units.append(unit_from_dict(doc))
+        return units
+
     def lease(self, worker: str, ttl: float) -> WorkUnit | None:
-        unit_id = self.queue.lease(worker, ttl)
-        if unit_id is None:
-            return None
-        doc = self._unit_docs.get(unit_id)
-        if doc is None:
-            # Manifest and units file disagree — corrupt state; put the
-            # lease back so other workers are not starved by it.
-            self.queue.release(worker, unit_id)
-            raise FabricError(
-                f"unit {unit_id[:12]}... is in the queue but not in the "
-                "units file"
-            )
-        return unit_from_dict(doc)
+        batch = self.lease_batch(worker, 1, ttl)
+        return batch[0] if batch else None
 
     def heartbeat(self, worker: str, ttl: float) -> None:
         self.queue.heartbeat(worker, ttl)
@@ -131,17 +143,25 @@ class LocalTransport:
     def stored(self, unit: WorkUnit) -> bool:
         return unit_is_stored(self.store, unit)
 
+    def complete_batch(
+        self,
+        worker: str,
+        units: list[WorkUnit],
+        records: list[tuple[str, Any]],
+    ) -> None:
+        # Records first, then the done marks: a crash in between
+        # re-issues units whose recompute commits nothing new (the
+        # store skips present keys) — never a done unit without records.
+        self.store.put_many(records)
+        self.queue.complete_batch(worker, [u.unit_id for u in units])
+
     def complete(
         self,
         worker: str,
         unit: WorkUnit,
         records: list[tuple[str, Any]],
     ) -> None:
-        # Records first, then the done mark: a crash in between
-        # re-issues a unit whose recompute commits nothing new (the
-        # store skips present keys) — never a done unit without records.
-        self.store.put_many(records)
-        self.queue.complete(worker, unit.unit_id)
+        self.complete_batch(worker, [unit], records)
 
     def release(self, worker: str, unit: WorkUnit) -> None:
         self.queue.release(worker, unit.unit_id)
@@ -219,17 +239,24 @@ class HTTPTransport:
         return payload
 
     # ------------------------------------------------------------------
-    def lease(self, worker: str, ttl: float) -> WorkUnit | None:
+    def lease_batch(self, worker: str, k: int, ttl: float) -> list[WorkUnit]:
         reply = self._request(
-            "/fabric/lease", {"worker": worker, "ttl": ttl}, graceful=True
+            "/fabric/lease",
+            {"worker": worker, "ttl": ttl, "max": k},
+            graceful=True,
         )
         if reply is None:
-            return None
+            return []
         self._finished = bool(reply.get("finished"))
-        unit_doc = reply.get("unit")
-        if unit_doc is None:
-            return None
-        return unit_from_dict(unit_doc)
+        unit_docs = reply.get("units")
+        if unit_docs is None:
+            # Pre-batch coordinator: a single "unit" field (or null).
+            unit_docs = [reply["unit"]] if reply.get("unit") else []
+        return [unit_from_dict(doc) for doc in unit_docs]
+
+    def lease(self, worker: str, ttl: float) -> WorkUnit | None:
+        batch = self.lease_batch(worker, 1, ttl)
+        return batch[0] if batch else None
 
     def heartbeat(self, worker: str, ttl: float) -> None:
         self._request(
@@ -239,20 +266,28 @@ class HTTPTransport:
     def stored(self, unit: WorkUnit) -> bool:
         return False  # only the coordinator can see the store
 
-    def complete(
+    def complete_batch(
         self,
         worker: str,
-        unit: WorkUnit,
+        units: list[WorkUnit],
         records: list[tuple[str, Any]],
     ) -> None:
         self._request(
             "/fabric/complete",
             {
                 "worker": worker,
-                "unit": unit.unit_id,
+                "units": [u.unit_id for u in units],
                 "records": [[k, v] for k, v in records],
             },
         )
+
+    def complete(
+        self,
+        worker: str,
+        unit: WorkUnit,
+        records: list[tuple[str, Any]],
+    ) -> None:
+        self.complete_batch(worker, [unit], records)
 
     def release(self, worker: str, unit: WorkUnit) -> None:
         self._request(

@@ -26,22 +26,33 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..errors import ExperimentError, FabricError
+from ..experiments.context import TrialContext
 from ..experiments.runner import (
     _cell_seeds,
+    _CellAccumulator,
     cell_chunk_key,
     run_paired_cells,
 )
 from ..experiments.spec import ExperimentSpec, TrialConfig
+from ..kernel.vec import (
+    VEC_MIN_LANES,
+    batch_supported,
+    vec_available,
+    vec_enabled,
+    vec_mode,
+)
 from ..store import TrialStore, store_key
 
 __all__ = [
     "WorkUnit",
+    "auto_chunk_size",
     "extract_units",
     "sweep_id",
     "unit_to_dict",
     "unit_from_dict",
     "unit_is_stored",
     "compute_unit",
+    "compute_units",
 ]
 
 
@@ -63,6 +74,25 @@ class WorkUnit:
 
 def _unit_id(keys: Sequence[str]) -> str:
     return store_key("fabric-unit", list(keys))
+
+
+def auto_chunk_size(trials: int) -> int:
+    """Vec-aware default seed-chunk width for one work unit.
+
+    A unit is both the granule of distribution *and* the seed batch the
+    vectorized kernel gets to fill with lanes, so sizing it too small
+    (the historical ``chunk_size=2`` crumbs) starves the batch path and
+    multiplies per-unit protocol overhead.  With the vec tier able to
+    engage (mode not ``off``, NumPy importable) a unit gets up to 64
+    seeds — comfortably past :data:`~repro.kernel.vec.VEC_MIN_LANES`
+    with amortization headroom but still fine-grained enough to steal;
+    otherwise 32, the paired engine's classic chunk.  Never more than
+    *trials* (a chunk cannot outgrow its cell).
+    """
+    if trials < 1:
+        raise FabricError("trials must be at least 1")
+    width = 64 if (vec_enabled() and vec_available()) else 32
+    return min(trials, width)
 
 
 def extract_units(
@@ -199,3 +229,72 @@ def compute_unit(
         (unit.keys[i], cell.to_dict())
         for i, (_si, cell) in enumerate(partials)
     ]
+
+
+def compute_units(
+    units: Sequence[WorkUnit],
+    use_kernel: bool | None = None,
+    use_vec: bool | None = None,
+) -> list[tuple[str, dict[str, Any]]]:
+    """Judge a batch of units; returns all their ``(key, record)`` pairs.
+
+    Runs of consecutive units that share one cell tuple (seed chunks of
+    the same sweep point — exactly what batched leasing hands out,
+    since units are enumerated x-major) are coalesced into a single
+    vectorized seed batch: one :func:`~repro.kernel.vec.paired_outcomes`
+    array pass covers every lane of every unit in the run, and each
+    unit's records are then aggregated from its own lanes through the
+    shared :class:`~repro.experiments.runner._CellAccumulator`.  Lanes
+    are computed independently in the batch driver and the aggregation
+    is the very code :func:`run_paired_cells` uses, so the records are
+    bit-identical to computing each unit alone — batching changes the
+    protocol cost, never the bytes.  Groups too narrow for the vec tier
+    (or with it unavailable/off) fall back to per-unit
+    :func:`compute_unit`.
+    """
+    pinned = use_vec is True or vec_mode() == "on"
+    use_v = use_vec if use_vec is not None else vec_enabled()
+    if use_kernel is False:
+        use_v = False
+    min_lanes = 2 if pinned else VEC_MIN_LANES
+    results: list[tuple[str, dict[str, Any]]] = []
+    i = 0
+    while i < len(units):
+        group = [units[i]]
+        while (
+            i + len(group) < len(units)
+            and units[i + len(group)].cells == group[0].cells
+        ):
+            group.append(units[i + len(group)])
+        i += len(group)
+        cells = list(group[0].cells)
+        lanes = sum(len(u.seeds) for u in group)
+        if (
+            len(group) > 1
+            and use_v
+            and vec_available()
+            and lanes >= min_lanes
+            and len({config.workload for _si, config in cells}) == 1
+            and any(batch_supported(config) for _si, config in cells)
+        ):
+            from ..kernel.vec import paired_outcomes
+
+            seeds = [s for u in group for s in u.seeds]
+            contexts = TrialContext.from_seeds(cells[0][1].workload, seeds)
+            outcomes = paired_outcomes(cells, seeds, contexts, use_kernel)
+            offset = 0
+            for unit in group:
+                n = len(unit.seeds)
+                accs = {si: _CellAccumulator() for si, _ in cells}
+                for sp in range(offset, offset + n):
+                    for si, _config in cells:
+                        accs[si].add(outcomes[(si, sp)])
+                offset += n
+                results.extend(
+                    (unit.keys[j], accs[si].result(n).to_dict())
+                    for j, (si, _config) in enumerate(cells)
+                )
+        else:
+            for unit in group:
+                results.extend(compute_unit(unit, use_kernel, use_vec))
+    return results

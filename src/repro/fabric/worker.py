@@ -2,15 +2,29 @@
 
 Transport-agnostic (see :mod:`repro.fabric.transport`): the same loop
 drives a local worker process sharing the coordinator's store directory
-and a remote worker pulling leases over HTTP.  Liveness protocol:
+and a remote worker pulling leases over HTTP.
 
-* while computing a unit, a daemon thread heartbeats at a third of the
-  lease TTL, so slow units never expire out from under a live worker;
+**Batched protocol.**  A worker leases up to ``batch`` units in one
+round trip (:meth:`Transport.lease_batch`), computes them as one
+coalesced seed batch (:func:`~repro.fabric.units.compute_units` — the
+vec tier gets every lane at once), and group-commits: all the batch's
+trial records flush to the store in one append, then every unit is
+marked done in one :meth:`Transport.complete_batch`.  The ordering
+contract is per *batch* what it was per unit — records are durably
+committed before any of their units is reported done, so a crash
+between the two steps re-issues units whose records already landed and
+the next holder completes them without recomputation.
+
+Liveness protocol:
+
+* while computing, a daemon thread heartbeats at a third of the lease
+  TTL — one call extends *all* of the worker's leases, so slow batches
+  never expire out from under a live worker;
 * a worker that dies silently (SIGKILL, OOM, power) simply stops
   heartbeating — its leases expire and other workers steal them;
-* a worker that *fails* computing a unit releases the lease explicitly
-  (no TTL wait) and re-raises, so a poisoned unit surfaces instead of
-  bouncing between workers forever;
+* a worker that *fails* computing releases every lease of the batch
+  explicitly (no TTL wait) and re-raises, so a poisoned unit surfaces
+  instead of bouncing between workers forever;
 * an idle worker (no leasable unit, sweep unfinished) naps ``poll``
   seconds and retries — this is where stolen work comes from.
 
@@ -21,19 +35,34 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Protocol
+from typing import Any, MutableMapping, Protocol
 
-from .units import WorkUnit, compute_unit
+from .units import WorkUnit, compute_units
 
-__all__ = ["worker_loop", "local_worker_entry"]
+__all__ = ["DEFAULT_BATCH", "worker_loop", "local_worker_entry"]
+
+#: Default units per lease round trip.  Big enough to amortize the
+#: lock/HTTP protocol cost and feed the vec tier multi-unit seed
+#: batches, small enough that a dying worker's re-issued backlog stays
+#: cheap and stealable.
+DEFAULT_BATCH = 16
 
 
 class Transport(Protocol):  # pragma: no cover - typing aid
     def lease(self, worker: str, ttl: float) -> WorkUnit | None: ...
+    def lease_batch(
+        self, worker: str, k: int, ttl: float
+    ) -> list[WorkUnit]: ...
     def heartbeat(self, worker: str, ttl: float) -> None: ...
     def stored(self, unit: WorkUnit) -> bool: ...
     def complete(
         self, worker: str, unit: WorkUnit, records: list[tuple[str, Any]]
+    ) -> None: ...
+    def complete_batch(
+        self,
+        worker: str,
+        units: list[WorkUnit],
+        records: list[tuple[str, Any]],
     ) -> None: ...
     def release(self, worker: str, unit: WorkUnit) -> None: ...
     def finished(self) -> bool: ...
@@ -72,42 +101,68 @@ def worker_loop(
     *,
     lease_ttl: float = 30.0,
     poll: float = 0.2,
+    batch: int = DEFAULT_BATCH,
     use_kernel: bool | None = None,
     use_vec: bool | None = None,
     max_units: int | None = None,
+    stats: MutableMapping[str, float] | None = None,
 ) -> int:
     """Drain the sweep through *transport*; returns units completed.
 
-    ``max_units`` bounds this worker's share (tests and canary runs);
-    the loop otherwise runs until :meth:`Transport.finished`.
-    ``use_kernel``/``use_vec`` pin the fast-path tiers per worker; the
-    defaults defer to the inherited ``REPRO_KERNEL``/``REPRO_VEC``
-    environment, and records commit bit-identically either way.
+    ``batch`` caps the units leased (and group-committed) per round
+    trip; ``max_units`` bounds this worker's total share (tests and
+    canary runs) — the loop otherwise runs until
+    :meth:`Transport.finished`.  ``use_kernel``/``use_vec`` pin the
+    fast-path tiers per worker; the defaults defer to the inherited
+    ``REPRO_KERNEL``/``REPRO_VEC`` environment, and records commit
+    bit-identically either way.  ``stats``, when given, accumulates the
+    per-phase wall-clock split — ``lease_seconds`` (protocol: leasing),
+    ``compute_seconds`` (trial arithmetic), ``commit_seconds``
+    (protocol: records + done marks) and ``units`` — the breakdown the
+    fabric bench reports.
     """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     completed = 0
     while max_units is None or completed < max_units:
-        unit = transport.lease(worker, lease_ttl)
-        if unit is None:
+        k = batch if max_units is None else min(batch, max_units - completed)
+        t0 = time.perf_counter()
+        units = transport.lease_batch(worker, k, lease_ttl)
+        t1 = time.perf_counter()
+        if stats is not None:
+            stats["lease_seconds"] = stats.get("lease_seconds", 0.0) + (t1 - t0)
+        if not units:
             if transport.finished():
                 break
             time.sleep(poll)
             continue
         try:
             with _Heartbeat(transport, worker, lease_ttl):
-                # A re-issued unit whose records already landed (the
-                # holder died after commit, before the done mark) is
+                # Re-issued units whose records already landed (the
+                # holder died after commit, before the done mark) are
                 # completed without recomputation.
-                records: list[tuple[str, Any]] = []
-                if not transport.stored(unit):
-                    records = compute_unit(unit, use_kernel, use_vec)
-            transport.complete(worker, unit, records)
+                todo = [u for u in units if not transport.stored(u)]
+                t2 = time.perf_counter()
+                records = compute_units(todo, use_kernel, use_vec)
+                t3 = time.perf_counter()
+            transport.complete_batch(worker, units, records)
+            t4 = time.perf_counter()
+            if stats is not None:
+                stats["compute_seconds"] = (
+                    stats.get("compute_seconds", 0.0) + (t3 - t2)
+                )
+                stats["commit_seconds"] = (
+                    stats.get("commit_seconds", 0.0) + (t4 - t3)
+                )
+                stats["units"] = stats.get("units", 0) + len(units)
         except BaseException:
-            try:
-                transport.release(worker, unit)
-            except Exception:  # noqa: BLE001 - the lease expires anyway
-                pass
+            for unit in units:
+                try:
+                    transport.release(worker, unit)
+                except Exception:  # noqa: BLE001 - the lease expires anyway
+                    pass
             raise
-        completed += 1
+        completed += len(units)
     return completed
 
 
@@ -117,6 +172,7 @@ def local_worker_entry(
     worker: str,
     lease_ttl: float,
     poll: float,
+    batch: int = DEFAULT_BATCH,
 ) -> None:
     """Process entry point of one ``repro sweep --workers N`` worker.
 
@@ -131,7 +187,7 @@ def local_worker_entry(
     transport = LocalTransport(store_root, fabric_root)
     try:
         worker_loop(
-            transport, worker, lease_ttl=lease_ttl, poll=poll
+            transport, worker, lease_ttl=lease_ttl, poll=poll, batch=batch
         )
     finally:
         transport.close()

@@ -7,10 +7,12 @@ bit-identical to the string-keyed reference implementation in
 ``repro.core`` / ``repro.sched`` (which stays available as the oracle
 via ``engine="paired-ref"`` or ``REPRO_KERNEL=0``).
 
-A third tier, :mod:`repro.kernel.vec` (``REPRO_VEC=1``), lifts the
-weight stage, the slicing tail ranking, and a lockstep seed-batch EDF
-engine onto NumPy arrays — still bit-identical on the default
-tie-break, with an automatic pure-Python fallback when NumPy is absent.
+A third tier, :mod:`repro.kernel.vec`, lifts the weight stage, the
+slicing tail ranking, and a lockstep seed-batch EDF engine onto NumPy
+arrays — engaged automatically for wide seed batches when NumPy is
+importable (``REPRO_VEC=0`` opts out, ``=1`` forces it everywhere) —
+still bit-identical on the default tie-break, with an automatic
+pure-Python fallback when NumPy is absent.
 
 See ``docs/performance.md`` for the architecture and the measured
 speedups.
@@ -26,7 +28,13 @@ from .trial import (
     run_trial_kernel,
     run_trial_vec,
 )
-from .vec import vec_available, vec_enabled, vec_fastmath
+from .vec import (
+    VEC_MIN_LANES,
+    vec_available,
+    vec_enabled,
+    vec_fastmath,
+    vec_mode,
+)
 
 __all__ = [
     "CompiledWorkload",
@@ -41,7 +49,9 @@ __all__ = [
     "kernel_supported",
     "run_trial_kernel",
     "run_trial_vec",
+    "VEC_MIN_LANES",
     "vec_available",
     "vec_enabled",
     "vec_fastmath",
+    "vec_mode",
 ]

@@ -29,10 +29,14 @@ and elementwise ``+ - * /`` on float64 are single IEEE operations, so
 ``np.where(est >= c_thres, est * surplus, est)`` is bitwise the scalar
 loop; (c) staged masked argmins reproduce lexicographic tie-breaks.
 
-``REPRO_VEC=1`` (or ``run_trial(use_vec=True)``) selects this tier;
-the default is **off** — unlike ``REPRO_KERNEL``, which defaults on —
-because the per-trial win is modest and the batch win only materializes
-on chunked sweeps.  ``REPRO_VEC_FASTMATH=1`` additionally relaxes the
+``REPRO_VEC`` selects the tier with three states (:func:`vec_mode`):
+unset defaults to **auto** — batch entry points engage on their own
+whenever NumPy is importable and the seed batch is wide enough
+(:data:`VEC_MIN_LANES` lanes) to amortize the array setup, while the
+per-trial path stays scalar because its win is modest.  ``REPRO_VEC=1``
+(or ``run_trial(use_vec=True)``) forces **on** — every path vectorizes
+regardless of width — and ``REPRO_VEC=0`` opts **off** entirely.
+``REPRO_VEC_FASTMATH=1`` additionally relaxes the bit-identity
 contract where the paper's results cannot depend on it: ordered
 summations may use pairwise ``np.sum``, and ready-pop ties may resolve
 by array position instead of task-id rank.  When NumPy is absent every
@@ -60,9 +64,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
     from ..experiments.spec import TrialConfig, TrialOutcome
 
 __all__ = [
+    "VEC_MIN_LANES",
     "vec_available",
     "vec_enabled",
     "vec_fastmath",
+    "vec_mode",
     "estimator_batch_supported",
     "vec_estimates_batch",
     "vec_arrays",
@@ -104,13 +110,37 @@ def vec_available() -> bool:
     return _numpy() is not None
 
 
-def vec_enabled() -> bool:
-    """The ``REPRO_VEC`` switch — default **off**, ``"1"`` enables.
+#: Minimum seed-batch width at which ``auto`` mode engages the batch
+#: path.  Below this the array setup (context building, padded views,
+#: per-step masking) costs as much as the lockstep arithmetic saves —
+#: measured on the reference container, 32-lane batches still run a
+#: few percent *behind* the compiled scalar kernel and parity arrives
+#: around 64 lanes; the stage-level array wins only compound past
+#: that.  Forced mode (``REPRO_VEC=1``/``use_vec=True``) ignores this
+#: floor.
+VEC_MIN_LANES = 64
 
-    Read per call (like ``REPRO_KERNEL``) so tests and the CLI can flip
-    it at runtime without re-imports.
+
+def vec_mode() -> str:
+    """The ``REPRO_VEC`` switch: ``"auto"`` (default), ``"on"``, ``"off"``.
+
+    Unset defaults to **auto**: batch entry points self-select when
+    NumPy is importable and the batch is at least :data:`VEC_MIN_LANES`
+    wide; the per-trial path stays scalar.  ``"1"`` forces **on**
+    (every path vectorizes, any width — the pre-auto opt-in behavior);
+    any other value, e.g. ``"0"``, opts **off**.  Read per call (like
+    ``REPRO_KERNEL``) so tests and the CLI can flip it at runtime
+    without re-imports.
     """
-    return os.environ.get("REPRO_VEC", "0") == "1"
+    raw = os.environ.get("REPRO_VEC")
+    if raw is None or raw == "":
+        return "auto"
+    return "on" if raw == "1" else "off"
+
+
+def vec_enabled() -> bool:
+    """Whether the vec tier may engage at all (mode is not ``"off"``)."""
+    return vec_mode() != "off"
 
 
 def vec_fastmath() -> bool:

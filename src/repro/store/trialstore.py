@@ -290,14 +290,23 @@ class TrialStore:
             raise StoreError(f"store at {self.root} is closed")
         appended = 0
         with self._mutex, self._lock:
-            by_shard: dict[str, list[tuple[str, Any]]] = {}
+            # Group by shard first so each touched shard is refreshed
+            # (one stat + unseen-tail read) exactly once per batch, not
+            # once per key — group commits land thousands of records of
+            # a few shards.
+            grouped: dict[str, list[tuple[str, Any]]] = {}
             for key, value in batch:
-                shard = self._shard_of(key)
+                grouped.setdefault(self._shard_of(key), []).append(
+                    (key, value)
+                )
+            by_shard: dict[str, list[tuple[str, Any]]] = {}
+            for shard, pairs in grouped.items():
                 mapping = self._refresh(shard)
-                if key in mapping:
-                    continue
-                by_shard.setdefault(shard, []).append((key, value))
-                mapping[key] = value
+                for key, value in pairs:
+                    if key in mapping:
+                        continue
+                    by_shard.setdefault(shard, []).append((key, value))
+                    mapping[key] = value
             for shard, records in by_shard.items():
                 text = "".join(
                     json.dumps({"k": k, "v": v}, separators=(",", ":")) + "\n"

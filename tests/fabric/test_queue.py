@@ -74,6 +74,7 @@ class TestLease:
         q.lease("w1", ttl=1.0)
         clock.now += 10.0
         assert q.lease("w2", ttl=1.0) == "u-a"  # nothing pending: steal
+        q.compact()  # fold the journal so the snapshot is current
         doc = json.loads((tmp_path / "q" / "MANIFEST.json").read_text())
         assert doc["units"]["u-a"]["attempts"] == 2
 
